@@ -1,0 +1,120 @@
+// §2.2.4 ablation: the two SGD-with-momentum semantics (Eq. 1, Caffe-style,
+// lr inside the momentum buffer; Eq. 2, PyTorch/TF-style, lr outside).
+//
+// Part (1) isolates the mathematics with OPEN-LOOP gradient replay: both
+// optimizers consume the identical pre-recorded gradient sequence, so the
+// only difference is the update rule itself. Under a constant lr the two are
+// provably identical (v1_t == lr * v2_t by induction); under a decayed lr
+// they diverge — the paper's exact point.
+//
+// Part (2) runs CLOSED-LOOP training (real ResNet workload) and shows that
+// even the "identical" constant-lr pair separates over a full session: the
+// updates differ in rounding (a*(b*c) vs (a*b)*c), and training dynamics
+// amplify last-bit differences — the other §2.2.4 observation, that
+// mathematically equivalent implementations still produce numerically
+// different results under finite precision.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "models/resnet.h"
+
+using namespace mlperf;
+
+namespace {
+
+// ---- part 1: open-loop replay ------------------------------------------------
+
+double open_loop_divergence(bool decay_lr) {
+  tensor::Rng rng(7);
+  const std::int64_t dim = 64;
+  const std::int64_t steps = 200;
+  // Pre-recorded gradient sequence, shared by both optimizers.
+  std::vector<tensor::Tensor> grads;
+  for (std::int64_t s = 0; s < steps; ++s)
+    grads.push_back(tensor::Tensor::randn({dim}, rng, 0.0f, 0.3f));
+
+  auto p1 = autograd::Variable(tensor::Tensor({dim}, 1.0f), true);
+  auto p2 = autograd::Variable(tensor::Tensor({dim}, 1.0f), true);
+  optim::SgdMomentum eq1({p1}, 0.9f, 0.0f, optim::MomentumSemantics::kLrInsideMomentum);
+  optim::SgdMomentum eq2({p2}, 0.9f, 0.0f, optim::MomentumSemantics::kLrOutsideMomentum);
+  optim::StepDecayLr sched(0.05f, decay_lr ? 0.3f : 1.0f, 50);
+  for (std::int64_t s = 0; s < steps; ++s) {
+    for (auto* p : {&p1, &p2}) {
+      p->zero_grad();
+      p->node()->accumulate_grad(grads[static_cast<std::size_t>(s)]);
+    }
+    const float lr = sched.lr(s);
+    eq1.step(lr);
+    eq2.step(lr);
+  }
+  double d = 0.0;
+  for (std::int64_t i = 0; i < dim; ++i) {
+    const double diff = static_cast<double>(p1.value()[i]) - p2.value()[i];
+    d += diff * diff;
+  }
+  return std::sqrt(d);
+}
+
+// ---- part 2: closed-loop training ---------------------------------------------
+
+struct Outcome {
+  double final_accuracy = 0.0;
+  std::vector<float> weights;
+};
+
+Outcome closed_loop_train(optim::MomentumSemantics sem, bool decay_lr) {
+  models::ResNetWorkload::Config cfg;
+  cfg.dataset.train_size = 256;
+  cfg.momentum_semantics = sem;
+  cfg.warmup_steps = 0;
+  cfg.lr_decay_gamma = decay_lr ? 0.3f : 1.0f;
+  cfg.lr_decay_epochs = 2;
+  models::ResNetWorkload w(cfg);
+  w.prepare_data();
+  w.build_model(42);
+  for (int e = 0; e < 8; ++e) w.train_epoch();
+  Outcome out;
+  out.final_accuracy = w.evaluate();
+  for (const auto& p : w.model()->parameters())
+    for (std::int64_t i = 0; i < p.numel(); ++i) out.weights.push_back(p.value()[i]);
+  return out;
+}
+
+double weight_distance(const Outcome& a, const Outcome& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.weights.size(); ++i) {
+    const double diff = static_cast<double>(a.weights[i]) - b.weights[i];
+    d += diff * diff;
+  }
+  return std::sqrt(d);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Momentum-semantics ablation (paper Eq. 1 vs Eq. 2, §2.2.4)\n\n");
+
+  std::printf("(1) open-loop gradient replay — the update rules in isolation:\n");
+  std::printf("    constant lr:  ||w_eq1 - w_eq2|| = %.2e   (identical up to rounding)\n",
+              open_loop_divergence(false));
+  std::printf("    decayed lr:   ||w_eq1 - w_eq2|| = %.2e   (genuinely different rules)\n\n",
+              open_loop_divergence(true));
+
+  std::printf("(2) closed-loop training (real workload, same seed):\n");
+  const Outcome c1 = closed_loop_train(optim::MomentumSemantics::kLrInsideMomentum, false);
+  const Outcome c2 = closed_loop_train(optim::MomentumSemantics::kLrOutsideMomentum, false);
+  std::printf("    constant lr:  ||w|| dist %.4f, acc %.3f vs %.3f — equivalent math still\n"
+              "                  drifts apart: rounding differences are amplified by the\n"
+              "                  training feedback loop (a §2.2.3 variance source)\n",
+              weight_distance(c1, c2), c1.final_accuracy, c2.final_accuracy);
+  const Outcome d1 = closed_loop_train(optim::MomentumSemantics::kLrInsideMomentum, true);
+  const Outcome d2 = closed_loop_train(optim::MomentumSemantics::kLrOutsideMomentum, true);
+  std::printf("    decayed lr:   ||w|| dist %.4f, acc %.3f vs %.3f\n\n",
+              weight_distance(d1, d2), d1.final_accuracy, d2.final_accuracy);
+
+  std::printf("paper: the two definitions only coincide mathematically while lr is fixed;\n");
+  std::printf("workload equivalence (Closed division) must therefore pin the optimizer\n");
+  std::printf("definition, not just its hyperparameters.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// §3.3 ablation: why quality thresholds sit near state-of-the-art rather than
+// at an easy early value. Using the ResNet workload across seeds, we measure
+// epochs-to-target at a LOW threshold (hit during the noisy early phase of
+// Figure 3) versus the suite's HIGH threshold, and compare relative variance.
+// The paper's claim: early thresholds make time-to-train much noisier, and
+// they also cannot protect against optimizations that hurt FINAL quality.
+#include <cstdio>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "harness/run.h"
+#include "models/resnet.h"
+
+using namespace mlperf;
+
+int main() {
+  const int runs = 5;
+  std::printf("Threshold-choice ablation: ResNet epochs-to-target across %d seeds\n\n", runs);
+  std::printf("%-14s", "threshold");
+  for (int r = 0; r < runs; ++r) std::printf("  run%-3d", r);
+  std::printf("%10s %10s\n", "mean", "cv");
+
+  for (double threshold : {0.45, 0.60, 0.80}) {
+    std::vector<double> epochs;
+    for (int r = 0; r < runs; ++r) {
+      models::ResNetWorkload w({});
+      core::QualityMetric target{"top1_accuracy", threshold, true};
+      harness::RunOptions opts;
+      opts.seed = 42 + static_cast<std::uint64_t>(r) * 7919;
+      opts.max_epochs = 40;
+      epochs.push_back(static_cast<double>(harness::run_to_target(w, target, opts).epochs));
+    }
+    std::printf("%-14.2f", threshold);
+    for (double e : epochs) std::printf("  %-6.0f", e);
+    const double m = core::mean(epochs);
+    std::printf("%10.1f %9.1f%%\n", m, 100.0 * core::stddev(epochs) / m);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper §3.3: thresholds achievable in the noisy early phase (Fig. 3) give\n");
+  std::printf("high run-to-run variance; near-SOTA thresholds stabilize timing AND catch\n");
+  std::printf("optimizations that only hurt late-training quality (Fig. 1).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates Figure 1: validation ERROR curves of the image-classification
+// workload trained under different weight representations (after Zhu et al.
+// 2016). The paper's qualitative claims to reproduce:
+//   * curves only separate after a number of epochs, and
+//   * the lowest-precision formats never reach the fp32 error floor.
+#include <cstdio>
+#include <vector>
+
+#include "harness/run.h"
+#include "models/resnet.h"
+
+using namespace mlperf;
+
+int main() {
+  const std::vector<numerics::Format> formats = {
+      numerics::Format::kFP32, numerics::Format::kBF16, numerics::Format::kFP8E4M3,
+      numerics::Format::kTernary};
+  const std::int64_t epochs = 14;
+
+  std::printf("Figure 1: validation error vs epoch by weight representation\n");
+  std::printf("(image_classification mini workload, one seed, %lld epochs)\n\n",
+              static_cast<long long>(epochs));
+  std::printf("%-8s", "epoch");
+  for (const auto f : formats) std::printf("%12s", numerics::to_string(f).c_str());
+  std::printf("\n");
+
+  std::vector<std::vector<double>> error_curves;
+  for (const auto f : formats) {
+    models::ResNetWorkload::Config cfg;
+    cfg.weight_format = f;
+    models::ResNetWorkload w(cfg);
+    // Fixed epoch budget: disable early stop by using an unreachable target.
+    core::QualityMetric unreachable{"top1_accuracy", 2.0, true};
+    harness::RunOptions opts;
+    opts.seed = 42;
+    opts.max_epochs = epochs;
+    const harness::RunOutcome out = harness::run_to_target(w, unreachable, opts);
+    std::vector<double> errors;
+    for (const auto& p : out.curve) errors.push_back(1.0 - p.quality);
+    error_curves.push_back(std::move(errors));
+  }
+
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    std::printf("%-8lld", static_cast<long long>(e + 1));
+    for (const auto& curve : error_curves)
+      std::printf("%12.3f", curve[static_cast<std::size_t>(e)]);
+    std::printf("\n");
+  }
+
+  const double fp32_final = error_curves[0].back();
+  std::printf("\nfinal validation error: fp32=%.3f bf16=%.3f fp8=%.3f ternary=%.3f\n",
+              error_curves[0].back(), error_curves[1].back(), error_curves[2].back(),
+              error_curves[3].back());
+  std::printf("gap to fp32 floor:      bf16=%+.3f fp8=%+.3f ternary=%+.3f\n",
+              error_curves[1].back() - fp32_final, error_curves[2].back() - fp32_final,
+              error_curves[3].back() - fp32_final);
+  return 0;
+}

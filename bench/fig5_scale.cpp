@@ -1,0 +1,39 @@
+// Regenerates Figure 5: number of chips in the system producing the fastest
+// overall score, v0.5 -> v0.6, via the cluster simulator. The paper reports
+// an average growth of ~5.5x, driven by software-stack scaling work and rule
+// changes (LARS for large-batch ResNet).
+#include <cmath>
+#include <cstdio>
+
+#include "sysim/cluster.h"
+
+using namespace mlperf::sysim;
+
+int main() {
+  std::printf("Figure 5: chips behind the fastest overall entry, v0.5 -> v0.6\n\n");
+  std::printf("%-28s %12s %12s %10s %16s\n", "benchmark", "v0.5 chips", "v0.6 chips",
+              "growth", "v0.6 TTT (s)");
+
+  ClusterConfig base{accelerator_2019(), 1, cluster_interconnect(), stack_v05(), 1};
+  const std::int64_t max_chips = 1 << 15;
+
+  double product = 1.0;
+  int n = 0;
+  for (const auto& w : comparable_workloads()) {
+    ClusterConfig b5 = base;
+    b5.stack = stack_v05();
+    ClusterConfig b6 = base;
+    b6.stack = stack_v06();
+    const ScaleResult s5 = fastest_scale(apply_round(w, stack_v05()), b5, max_chips, false);
+    const ScaleResult s6 = fastest_scale(apply_round(w, stack_v06()), b6, max_chips, true);
+    const double growth = static_cast<double>(s6.chips) / static_cast<double>(s5.chips);
+    std::printf("%-28s %12lld %12lld %9.1fx %16.1f\n", w.name.c_str(),
+                static_cast<long long>(s5.chips), static_cast<long long>(s6.chips), growth,
+                s6.result.time_to_train_s);
+    product *= growth;
+    ++n;
+  }
+  std::printf("\naverage growth (geomean): %.1fx   (paper: ~5.5x average)\n",
+              std::pow(product, 1.0 / n));
+  return 0;
+}

@@ -1,0 +1,21 @@
+// §6 future-work item, realized: the table mapping system scale and numeric
+// precision to recommended hyperparameters for each benchmark. Printed for
+// both rounds so the LARS switch-over at large ResNet batches (v0.6 only) is
+// visible, and for fp32 vs fp16 so the loss-scaling recommendation shows.
+#include <cstdio>
+
+#include "harness/hp_table.h"
+
+using namespace mlperf;
+
+int main() {
+  const std::vector<std::int64_t> scales = {1, 16, 256, 1024};
+  for (const auto& suite : {core::suite_v05(), core::suite_v06()}) {
+    std::printf("%s\n",
+                harness::format_hp_table(suite, scales, numerics::Format::kFP32).c_str());
+  }
+  std::printf("%s\n", harness::format_hp_table(core::suite_v06(), {16, 256},
+                                               numerics::Format::kFP16)
+                          .c_str());
+  return 0;
+}

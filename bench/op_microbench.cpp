@@ -1,0 +1,100 @@
+// DeepBench-style kernel microbenchmarks (paper §2.3 background): the
+// operations that dominate the suite's workloads, measured with
+// google-benchmark. The paper's point — and the reason MLPerf is NOT a
+// microbenchmark — is that these numbers say nothing about end-to-end
+// time-to-quality; they are included as the baseline the suite improves on.
+#include <benchmark/benchmark.h>
+
+#include "nn/functional.h"
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+
+using namespace mlperf;
+using tensor::Rng;
+using tensor::Tensor;
+
+static void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = a.matmul(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_Conv2dForward(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::randn({4, c, 16, 16}, rng);
+  Tensor w = Tensor::randn({c, c, 3, 3}, rng);
+  autograd::Variable vx(x), vw(w);
+  for (auto _ : state) {
+    auto y = nn::conv2d(vx, vw, autograd::Variable(), 1, 1);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_Conv2dTrainStep(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::randn({4, c, 16, 16}, rng);
+  Tensor w = Tensor::randn({c, c, 3, 3}, rng);
+  for (auto _ : state) {
+    autograd::Variable vw(w, true);
+    auto y = nn::conv2d(autograd::Variable(x), vw, autograd::Variable(), 1, 1);
+    autograd::sum_all(y).backward();
+    benchmark::DoNotOptimize(vw.grad().data());
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep)->Arg(8)->Arg(16);
+
+static void BM_SoftmaxLast(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({256, state.range(0)}, rng);
+  for (auto _ : state) {
+    Tensor y = x.softmax_last();
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SoftmaxLast)->Arg(128)->Arg(1024);
+
+static void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::BatchNorm2d bn(16);
+  Tensor x = Tensor::randn({8, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    auto y = bn.forward(autograd::Variable(x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+static void BM_Attention(benchmark::State& state) {
+  Rng rng(6);
+  nn::MultiHeadAttention mha(64, 4, rng);
+  autograd::Variable x(Tensor::randn({4, state.range(0), 64}, rng));
+  for (auto _ : state) {
+    auto y = mha.forward(x, x, x);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_Attention)->Arg(8)->Arg(32);
+
+static void BM_LstmCell(benchmark::State& state) {
+  Rng rng(7);
+  nn::LSTMCell cell(64, 64, rng);
+  auto s = cell.zero_state(16);
+  autograd::Variable x(Tensor::randn({16, 64}, rng));
+  for (auto _ : state) {
+    auto next = cell.forward(x, s);
+    benchmark::DoNotOptimize(next.h.value().data());
+  }
+}
+BENCHMARK(BM_LstmCell);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Quickstart: train one MLPerf reference workload to its quality target under
+// the paper's timing rules, and print the structured training log.
+//
+//   $ ./quickstart [benchmark]
+//
+// where benchmark is one of: image_classification, object_detection_light,
+// object_detection_heavy, translation_recurrent, translation_nonrecurrent,
+// recommendation, reinforcement_learning (default: recommendation — the
+// fastest one).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "harness/reference.h"
+#include "harness/run.h"
+
+using namespace mlperf;
+
+int main(int argc, char** argv) {
+  const core::SuiteVersion suite = core::suite_v05();
+  core::BenchmarkId id = core::BenchmarkId::kRecommendation;
+  if (argc > 1) {
+    std::optional<core::BenchmarkId> found;
+    for (const auto& spec : suite.benchmarks)
+      if (spec.name == argv[1]) found = spec.id;
+    if (!found) {
+      std::fprintf(stderr, "unknown benchmark '%s'; options are:\n", argv[1]);
+      for (const auto& spec : suite.benchmarks)
+        std::fprintf(stderr, "  %s\n", spec.name.c_str());
+      return 1;
+    }
+    id = *found;
+  }
+
+  const core::BenchmarkSpec& spec = core::find_spec(suite, id);
+  std::printf("== MLPerf mini reference: %s ==\n", spec.name.c_str());
+  std::printf("paper workload: %s on %s, threshold %.3g %s\n", spec.model.c_str(),
+              spec.dataset.c_str(), spec.paper_quality.target,
+              spec.paper_quality.name.c_str());
+  std::printf("mini target:    %.3g %s\n\n", spec.mini_quality.target,
+              spec.mini_quality.name.c_str());
+
+  auto workload = harness::make_reference_workload(id, harness::WorkloadScale::kReference);
+  harness::RunOptions opts;
+  opts.seed = 42;
+  opts.max_epochs = 120;
+  const harness::RunOutcome out =
+      harness::run_to_target(*workload, spec.mini_quality, opts);
+
+  std::printf("quality curve:\n");
+  for (const auto& p : out.curve)
+    std::printf("  epoch %3lld  %s = %.4f  (%.0f ms elapsed)\n",
+                static_cast<long long>(p.epoch), spec.mini_quality.name.c_str(), p.quality,
+                p.elapsed_ms);
+  std::printf("\n%s in %lld epochs; official time-to-train %.0f ms "
+              "(unexcluded wall %.0f ms)\n\n",
+              out.quality_reached ? "TARGET REACHED" : "target missed",
+              static_cast<long long>(out.epochs), out.time_to_train_ms,
+              out.unexcluded_time_ms);
+
+  std::printf("structured mlperf log (first 12 events):\n");
+  int n = 0;
+  for (const auto& e : out.log.events()) {
+    if (++n > 12) break;
+    std::printf("  %s", e.key.c_str());
+    if (const double* d = std::get_if<double>(&e.value)) std::printf(" = %g", *d);
+    if (const std::string* s = std::get_if<std::string>(&e.value))
+      std::printf(" = %s", s->c_str());
+    std::printf("\n");
+  }
+  std::printf("  ... (%zu events total; serialize with MlLog::serialize())\n",
+              out.log.events().size());
+  return out.quality_reached ? 0 : 1;
+}

@@ -1,0 +1,386 @@
+#include "autograd/variable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mlperf::autograd {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace detail {
+
+void Node::accumulate_grad(const Tensor& g) {
+  if (!grad_initialized) {
+    grad = Tensor(value.shape());
+    grad_initialized = true;
+  }
+  if (g.shape() == grad.shape()) {
+    float* dst = grad.data();
+    const float* src = g.data();
+    const std::int64_t n = grad.numel();
+    for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  } else {
+    grad = grad.add(g.reduce_to(grad.shape()));
+  }
+}
+
+}  // namespace detail
+
+Variable Variable::from_op(Tensor value, std::vector<Variable> parents, BackwardFn backward_fn) {
+  Variable out(std::move(value));
+  bool rg = false;
+  out.node_->parents.reserve(parents.size());
+  for (const auto& p : parents) {
+    rg = rg || p.requires_grad();
+    out.node_->parents.push_back(p.node());
+  }
+  out.node_->requires_grad = rg;
+  if (rg) out.node_->backward_fn = std::move(backward_fn);
+  return out;
+}
+
+const Tensor& Variable::grad() const {
+  if (!node_->grad_initialized) {
+    node_->grad = Tensor(node_->value.shape());
+    node_->grad_initialized = true;
+  }
+  return node_->grad;
+}
+
+void Variable::zero_grad() {
+  node_->grad = Tensor(node_->value.shape());
+  node_->grad_initialized = true;
+}
+
+void Variable::backward() const {
+  if (numel() != 1)
+    throw std::invalid_argument("backward(): output is not scalar; supply a seed gradient");
+  backward(Tensor(shape(), 1.0f));
+}
+
+void Variable::backward(const Tensor& seed) const {
+  if (seed.shape() != shape())
+    throw std::invalid_argument("backward(): seed shape does not match output shape");
+  // Topological order via iterative post-order DFS over parents.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  std::vector<std::pair<detail::Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, next] = stack.back();
+    if (next < n->parents.size()) {
+      detail::Node* p = n->parents[next++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  node_->accumulate_grad(seed);
+  // Reverse topological order: node appears after all its parents in `order`.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* n = *it;
+    if (n->backward_fn && n->grad_initialized) n->backward_fn(n->grad);
+  }
+}
+
+// ---- op helpers ------------------------------------------------------------
+
+namespace {
+
+Variable broadcast_binary(const Variable& a, const Variable& b,
+                          const std::function<float(float, float)>& f,
+                          // dL/da given (out_grad, a_val, b_val) elementwise factor
+                          const std::function<Tensor(const Tensor&, const Variable&,
+                                                     const Variable&)>& grad_a,
+                          const std::function<Tensor(const Tensor&, const Variable&,
+                                                     const Variable&)>& grad_b) {
+  Tensor out = a.value().binary(b.value(), f);
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::from_op(std::move(out), {a, b},
+                           [an, bn, a, b, grad_a, grad_b](const Tensor& g) {
+                             if (an->requires_grad) an->accumulate_grad(grad_a(g, a, b));
+                             if (bn->requires_grad) bn->accumulate_grad(grad_b(g, a, b));
+                           });
+}
+
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  return broadcast_binary(
+      a, b, std::plus<float>{},
+      [](const Tensor& g, const Variable&, const Variable&) { return g; },
+      [](const Tensor& g, const Variable&, const Variable&) { return g; });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  return broadcast_binary(
+      a, b, std::minus<float>{},
+      [](const Tensor& g, const Variable&, const Variable&) { return g; },
+      [](const Tensor& g, const Variable&, const Variable&) { return g.neg(); });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  return broadcast_binary(
+      a, b, std::multiplies<float>{},
+      [](const Tensor& g, const Variable&, const Variable& bb) { return g.mul(bb.value()); },
+      [](const Tensor& g, const Variable& aa, const Variable&) { return g.mul(aa.value()); });
+}
+
+Variable div(const Variable& a, const Variable& b) {
+  return broadcast_binary(
+      a, b, std::divides<float>{},
+      [](const Tensor& g, const Variable&, const Variable& bb) { return g.div(bb.value()); },
+      [](const Tensor& g, const Variable& aa, const Variable& bb) {
+        // d/db (a/b) = -a / b^2
+        return g.mul(aa.value()).div(bb.value().mul(bb.value())).neg();
+      });
+}
+
+Variable neg(const Variable& a) {
+  auto an = a.node();
+  return Variable::from_op(a.value().neg(), {a},
+                           [an](const Tensor& g) { an->accumulate_grad(g.neg()); });
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  auto an = a.node();
+  return Variable::from_op(a.value().add_scalar(s), {a},
+                           [an](const Tensor& g) { an->accumulate_grad(g); });
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  auto an = a.node();
+  return Variable::from_op(a.value().mul_scalar(s), {a}, [an, s](const Tensor& g) {
+    an->accumulate_grad(g.mul_scalar(s));
+  });
+}
+
+Variable matmul(const Variable& a, const Variable& b) {
+  Tensor out = a.value().matmul(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::from_op(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+    if (an->requires_grad) an->accumulate_grad(g.matmul(bn->value.transpose2d()));
+    if (bn->requires_grad) bn->accumulate_grad(an->value.transpose2d().matmul(g));
+  });
+}
+
+Variable bmm(const Variable& a, const Variable& b) {
+  Tensor out = a.value().bmm(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::from_op(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+    if (an->requires_grad) an->accumulate_grad(g.bmm(bn->value.permute({0, 2, 1})));
+    if (bn->requires_grad) bn->accumulate_grad(an->value.permute({0, 2, 1}).bmm(g));
+  });
+}
+
+Variable relu(const Variable& a) {
+  auto an = a.node();
+  return Variable::from_op(a.value().relu(), {a}, [an](const Tensor& g) {
+    Tensor masked = g.binary(an->value, [](float gv, float x) { return x > 0.0f ? gv : 0.0f; });
+    an->accumulate_grad(masked);
+  });
+}
+
+Variable tanh_op(const Variable& a) {
+  Tensor y = a.value().tanh();
+  auto an = a.node();
+  return Variable::from_op(y, {a}, [an, y](const Tensor& g) {
+    an->accumulate_grad(g.binary(y, [](float gv, float yv) { return gv * (1.0f - yv * yv); }));
+  });
+}
+
+Variable sigmoid(const Variable& a) {
+  Tensor y = a.value().sigmoid();
+  auto an = a.node();
+  return Variable::from_op(y, {a}, [an, y](const Tensor& g) {
+    an->accumulate_grad(g.binary(y, [](float gv, float yv) { return gv * yv * (1.0f - yv); }));
+  });
+}
+
+Variable exp_op(const Variable& a) {
+  Tensor y = a.value().exp();
+  auto an = a.node();
+  return Variable::from_op(y, {a},
+                           [an, y](const Tensor& g) { an->accumulate_grad(g.mul(y)); });
+}
+
+Variable log_op(const Variable& a) {
+  auto an = a.node();
+  return Variable::from_op(a.value().log(), {a},
+                           [an](const Tensor& g) { an->accumulate_grad(g.div(an->value)); });
+}
+
+Variable sqrt_op(const Variable& a) {
+  Tensor y = a.value().sqrt();
+  auto an = a.node();
+  return Variable::from_op(y, {a}, [an, y](const Tensor& g) {
+    an->accumulate_grad(
+        g.binary(y, [](float gv, float yv) { return yv > 0.0f ? gv / (2.0f * yv) : 0.0f; }));
+  });
+}
+
+Variable reshape(const Variable& a, Shape shape) {
+  Tensor out = a.value().reshape(std::move(shape));
+  auto an = a.node();
+  return Variable::from_op(std::move(out), {a}, [an](const Tensor& g) {
+    an->accumulate_grad(g.reshape(an->value.shape()));
+  });
+}
+
+Variable permute(const Variable& a, const std::vector<std::int64_t>& dims) {
+  Tensor out = a.value().permute(dims);
+  std::vector<std::int64_t> inverse(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    inverse[static_cast<std::size_t>(dims[i])] = static_cast<std::int64_t>(i);
+  auto an = a.node();
+  return Variable::from_op(std::move(out), {a}, [an, inverse](const Tensor& g) {
+    an->accumulate_grad(g.permute(inverse));
+  });
+}
+
+Variable slice0(const Variable& a, std::int64_t begin, std::int64_t end) {
+  Tensor out = a.value().slice0(begin, end);
+  auto an = a.node();
+  return Variable::from_op(std::move(out), {a}, [an, begin](const Tensor& g) {
+    Tensor full(an->value.shape());
+    const std::int64_t row = full.numel() / std::max<std::int64_t>(full.shape()[0], 1);
+    std::copy(g.vec().begin(), g.vec().end(), full.vec().begin() + begin * row);
+    an->accumulate_grad(full);
+  });
+}
+
+Variable cat0(const std::vector<Variable>& parts) {
+  std::vector<Tensor> vals;
+  vals.reserve(parts.size());
+  for (const auto& p : parts) vals.push_back(p.value());
+  Tensor out = Tensor::cat0(vals);
+  std::vector<std::shared_ptr<detail::Node>> nodes;
+  nodes.reserve(parts.size());
+  for (const auto& p : parts) nodes.push_back(p.node());
+  return Variable::from_op(std::move(out), parts, [nodes](const Tensor& g) {
+    std::int64_t begin = 0;
+    for (const auto& n : nodes) {
+      const std::int64_t rows = n->value.shape()[0];
+      if (n->requires_grad) n->accumulate_grad(g.slice0(begin, begin + rows));
+      begin += rows;
+    }
+  });
+}
+
+Variable sum_all(const Variable& a) {
+  Tensor out = Tensor::scalar(a.value().sum());
+  auto an = a.node();
+  return Variable::from_op(std::move(out), {a}, [an](const Tensor& g) {
+    an->accumulate_grad(Tensor(an->value.shape(), g[0]));
+  });
+}
+
+Variable mean_all(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  Tensor out = Tensor::scalar(a.value().mean());
+  auto an = a.node();
+  return Variable::from_op(std::move(out), {a}, [an, inv](const Tensor& g) {
+    an->accumulate_grad(Tensor(an->value.shape(), g[0] * inv));
+  });
+}
+
+Variable sum_axis(const Variable& a, std::int64_t axis, bool keepdim) {
+  Tensor out = a.value().sum_axis(axis, keepdim);
+  auto an = a.node();
+  std::int64_t ax = axis < 0 ? axis + a.value().ndim() : axis;
+  return Variable::from_op(std::move(out), {a}, [an, ax](const Tensor& g) {
+    // Re-expand g along the reduced axis by broadcasting a keepdim view.
+    Shape kshape = an->value.shape();
+    kshape[static_cast<std::size_t>(ax)] = 1;
+    Tensor gk = g.reshape(kshape);
+    an->accumulate_grad(Tensor(an->value.shape()).add(gk));
+  });
+}
+
+Variable mean_axis(const Variable& a, std::int64_t axis, bool keepdim) {
+  std::int64_t ax = axis < 0 ? axis + a.value().ndim() : axis;
+  const float inv = 1.0f / static_cast<float>(a.value().size(ax));
+  return mul_scalar(sum_axis(a, axis, keepdim), inv);
+}
+
+Variable softmax_last(const Variable& a) {
+  Tensor y = a.value().softmax_last();
+  auto an = a.node();
+  return Variable::from_op(y, {a}, [an, y](const Tensor& g) {
+    // dL/dx = y * (g - sum(g*y, last))
+    const std::int64_t last = y.shape().back();
+    const std::int64_t rows = y.numel() / last;
+    Tensor dx(y.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* yr = y.data() + r * last;
+      const float* gr = g.data() + r * last;
+      float* dr = dx.data() + r * last;
+      double dot = 0.0;
+      for (std::int64_t j = 0; j < last; ++j) dot += static_cast<double>(yr[j]) * gr[j];
+      for (std::int64_t j = 0; j < last; ++j)
+        dr[j] = yr[j] * (gr[j] - static_cast<float>(dot));
+    }
+    an->accumulate_grad(dx);
+  });
+}
+
+Variable log_softmax_last(const Variable& a) {
+  Tensor y = a.value().log_softmax_last();
+  auto an = a.node();
+  return Variable::from_op(y, {a}, [an, y](const Tensor& g) {
+    // dL/dx = g - softmax(x) * sum(g, last)
+    const std::int64_t last = y.shape().back();
+    const std::int64_t rows = y.numel() / last;
+    Tensor dx(y.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* yr = y.data() + r * last;
+      const float* gr = g.data() + r * last;
+      float* dr = dx.data() + r * last;
+      double gsum = 0.0;
+      for (std::int64_t j = 0; j < last; ++j) gsum += gr[j];
+      for (std::int64_t j = 0; j < last; ++j)
+        dr[j] = gr[j] - std::exp(yr[j]) * static_cast<float>(gsum);
+    }
+    an->accumulate_grad(dx);
+  });
+}
+
+Variable embedding(const Variable& table, const std::vector<std::int64_t>& indices) {
+  const Tensor& tv = table.value();
+  if (tv.ndim() != 2) throw std::invalid_argument("embedding(): table must be rank 2");
+  const std::int64_t vocab = tv.shape()[0];
+  const std::int64_t dim = tv.shape()[1];
+  Tensor out({static_cast<std::int64_t>(indices.size()), dim});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t row = indices[i];
+    if (row < 0 || row >= vocab) throw std::out_of_range("embedding(): index out of range");
+    std::copy(tv.data() + row * dim, tv.data() + (row + 1) * dim,
+              out.data() + static_cast<std::int64_t>(i) * dim);
+  }
+  auto tn = table.node();
+  return Variable::from_op(std::move(out), {table}, [tn, indices, dim](const Tensor& g) {
+    Tensor dt(tn->value.shape());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const std::int64_t row = indices[i];
+      const float* src = g.data() + static_cast<std::int64_t>(i) * dim;
+      float* dst = dt.data() + row * dim;
+      for (std::int64_t d = 0; d < dim; ++d) dst[d] += src[d];
+    }
+    tn->accumulate_grad(dt);
+  });
+}
+
+Variable detach(const Variable& a) { return Variable(a.value(), false); }
+
+}  // namespace mlperf::autograd

@@ -1,0 +1,60 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlperf::core {
+
+double olympic_mean(std::vector<double> run_times_ms, const AggregationPolicy& policy) {
+  const std::int64_t n = static_cast<std::int64_t>(run_times_ms.size());
+  if (n < policy.required_runs)
+    throw std::invalid_argument("olympic_mean: fewer runs than the policy requires");
+  const std::int64_t drops = policy.drop_fastest + policy.drop_slowest;
+  if (n - drops < 1) throw std::invalid_argument("olympic_mean: drops leave no runs");
+  std::sort(run_times_ms.begin(), run_times_ms.end());
+  double sum = 0.0;
+  for (std::int64_t i = policy.drop_fastest; i < n - policy.drop_slowest; ++i)
+    sum += run_times_ms[static_cast<std::size_t>(i)];
+  return sum / static_cast<double>(n - drops);
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double fraction_within(const std::vector<double>& xs, double tolerance) {
+  if (xs.empty()) throw std::invalid_argument("fraction_within: empty");
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  if (median == 0.0) throw std::invalid_argument("fraction_within: zero median");
+  std::size_t within = 0;
+  for (double x : xs)
+    if (std::fabs(x - median) / std::fabs(median) <= tolerance) ++within;
+  return static_cast<double>(within) / static_cast<double>(xs.size());
+}
+
+AggregatedResult aggregate_runs(const std::vector<double>& run_times_ms,
+                                const AggregationPolicy& policy) {
+  AggregatedResult r;
+  r.score_ms = olympic_mean(run_times_ms, policy);
+  r.raw_mean_ms = mean(run_times_ms);
+  r.raw_stddev_ms = stddev(run_times_ms);
+  r.runs_used = static_cast<std::int64_t>(run_times_ms.size()) - policy.drop_fastest -
+                policy.drop_slowest;
+  return r;
+}
+
+}  // namespace mlperf::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mlperf::core {
+
+/// Run-aggregation rules (§3.2.2): vision benchmarks submit 5 runs, all other
+/// benchmarks 10; the fastest and slowest are dropped and the arithmetic mean
+/// of the rest is the reported score ("olympic mean").
+struct AggregationPolicy {
+  std::int64_t required_runs = 5;
+  std::int64_t drop_fastest = 1;
+  std::int64_t drop_slowest = 1;
+
+  static AggregationPolicy vision() { return {5, 1, 1}; }
+  static AggregationPolicy other() { return {10, 1, 1}; }
+};
+
+/// Olympic mean of run times: drop the given number of extremes, average the
+/// rest. Throws if too few runs remain.
+double olympic_mean(std::vector<double> run_times_ms, const AggregationPolicy& policy);
+
+/// Plain mean/stddev helpers for the variance studies.
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// Fraction of entries within +-`tolerance` (relative) of the median; the
+/// paper chose run counts so that 90% of same-system entries fall within 5%
+/// (vision) or 10% (other). bench/ablation_aggregation reproduces this.
+double fraction_within(const std::vector<double>& xs, double tolerance);
+
+/// Result of aggregating one benchmark's runs.
+struct AggregatedResult {
+  double score_ms = 0.0;        ///< the olympic mean
+  double raw_mean_ms = 0.0;
+  double raw_stddev_ms = 0.0;
+  std::int64_t runs_used = 0;   ///< after drops
+};
+
+AggregatedResult aggregate_runs(const std::vector<double>& run_times_ms,
+                                const AggregationPolicy& policy);
+
+}  // namespace mlperf::core

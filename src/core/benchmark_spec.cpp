@@ -1,0 +1,110 @@
+#include "core/benchmark_spec.h"
+
+#include <stdexcept>
+
+namespace mlperf::core {
+
+std::string to_string(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kImageClassification: return "image_classification";
+    case BenchmarkId::kObjectDetectionLight: return "object_detection_light";
+    case BenchmarkId::kObjectDetectionHeavy: return "object_detection_heavy";
+    case BenchmarkId::kTranslationRecurrent: return "translation_recurrent";
+    case BenchmarkId::kTranslationNonRecurrent: return "translation_nonrecurrent";
+    case BenchmarkId::kRecommendation: return "recommendation";
+    case BenchmarkId::kReinforcementLearning: return "reinforcement_learning";
+  }
+  throw std::logic_error("unknown BenchmarkId");
+}
+
+SuiteVersion suite_v05() {
+  SuiteVersion s;
+  s.version = "v0.5";
+  s.lars_allowed = false;
+  s.benchmarks = {
+      // Table 1, row by row. paper_quality = the published threshold;
+      // mini_quality = what our scaled synthetic workload trains to (see
+      // DESIGN.md substitutions; calibrated so a run finishes in seconds).
+      {BenchmarkId::kImageClassification, "image_classification", "ImageNet",
+       "ResNet-50 v1.5", Area::kVision,
+       {"top1_accuracy", 0.749, true}, {"top1_accuracy", 0.80, true},
+       AggregationPolicy::vision(), std::nullopt},
+      {BenchmarkId::kObjectDetectionLight, "object_detection_light", "COCO 2017",
+       "SSD-ResNet-34", Area::kVision,
+       {"map", 0.212, true}, {"map", 0.40, true},
+       AggregationPolicy::vision(), std::nullopt},
+      {BenchmarkId::kObjectDetectionHeavy, "object_detection_heavy", "COCO 2017",
+       "Mask R-CNN", Area::kVision,
+       {"box_min_ap", 0.377, true}, {"box_min_ap", 0.40, true},
+       AggregationPolicy::vision(),
+       QualityMetric{"mask_min_ap", 0.339, true}},
+      {BenchmarkId::kTranslationRecurrent, "translation_recurrent", "WMT16 EN-DE",
+       "GNMT", Area::kLanguage,
+       {"bleu", 21.8, true}, {"bleu", 30.0, true},
+       AggregationPolicy::other(), std::nullopt},
+      {BenchmarkId::kTranslationNonRecurrent, "translation_nonrecurrent", "WMT17 EN-DE",
+       "Transformer", Area::kLanguage,
+       {"bleu", 25.0, true}, {"bleu", 30.0, true},
+       AggregationPolicy::other(), std::nullopt},
+      {BenchmarkId::kRecommendation, "recommendation", "MovieLens-20M",
+       "NCF", Area::kCommerce,
+       {"hr_at_10", 0.635, true}, {"hr_at_10", 0.52, true},
+       AggregationPolicy::other(), std::nullopt},
+      {BenchmarkId::kReinforcementLearning, "reinforcement_learning", "Go (9x9 board)",
+       "MiniGo", Area::kResearch,
+       {"pro_move_prediction", 0.40, true}, {"move_prediction", 0.30, true},
+       AggregationPolicy::other(), std::nullopt},
+  };
+  return s;
+}
+
+SuiteVersion suite_v06() {
+  // §6: v0.6 raised targets after allowing LARS (ResNet), improving the GNMT
+  // architecture, and porting the MiniGo reference to C++. NCF was dropped
+  // from the round pending the synthetic-dataset update (§3.1.5), which is
+  // why §5 compares "the five benchmarks that were unmodified or modified in
+  // limited ways".
+  SuiteVersion s = suite_v05();
+  s.version = "v0.6";
+  s.lars_allowed = true;
+  std::vector<BenchmarkSpec> kept;
+  for (auto& b : s.benchmarks) {
+    switch (b.id) {
+      case BenchmarkId::kImageClassification:
+        b.paper_quality.target = 0.759;  // 74.9% -> 75.9%
+        b.mini_quality.target = 0.82;
+        kept.push_back(b);
+        break;
+      case BenchmarkId::kObjectDetectionLight:
+        b.paper_quality.target = 0.230;  // 21.2 -> 23.0 mAP
+        b.mini_quality.target = 0.45;
+        kept.push_back(b);
+        break;
+      case BenchmarkId::kTranslationRecurrent:
+        b.paper_quality.target = 24.0;  // GNMT model improved, target raised
+        b.mini_quality.target = 32.0;
+        kept.push_back(b);
+        break;
+      case BenchmarkId::kReinforcementLearning:
+        b.paper_quality.target = 0.45;  // C++ reference, raised target
+        b.mini_quality.target = 0.33;
+        kept.push_back(b);
+        break;
+      case BenchmarkId::kRecommendation:
+        break;  // dropped in v0.6
+      default:
+        kept.push_back(b);
+        break;
+    }
+  }
+  s.benchmarks = std::move(kept);
+  return s;
+}
+
+const BenchmarkSpec& find_spec(const SuiteVersion& suite, BenchmarkId id) {
+  for (const auto& b : suite.benchmarks)
+    if (b.id == id) return b;
+  throw std::out_of_range("find_spec: benchmark not in suite " + suite.version);
+}
+
+}  // namespace mlperf::core

@@ -1,0 +1,24 @@
+#include "core/category.h"
+
+#include <stdexcept>
+
+namespace mlperf::core {
+
+std::string to_string(Category c) {
+  switch (c) {
+    case Category::kAvailable: return "available";
+    case Category::kPreview: return "preview";
+    case Category::kResearch: return "research";
+  }
+  throw std::logic_error("unknown Category");
+}
+
+std::string to_string(SystemType t) {
+  switch (t) {
+    case SystemType::kOnPremise: return "on_premise";
+    case SystemType::kCloud: return "cloud";
+  }
+  throw std::logic_error("unknown SystemType");
+}
+
+}  // namespace mlperf::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlperf::core {
+
+/// System categories (§4.2.2): shipping product vs proof-of-concept.
+enum class Category { kAvailable, kPreview, kResearch };
+/// System types (§4.2): where the system runs.
+enum class SystemType { kOnPremise, kCloud };
+
+std::string to_string(Category c);
+std::string to_string(SystemType t);
+
+/// Availability rules for the Available category (§4.2.2): hardware must be
+/// rentable or purchasable, and software must be versioned and supported.
+struct AvailabilityEvidence {
+  bool hardware_rentable_or_purchasable = false;
+  bool software_versioned = false;
+  bool software_supported = false;
+
+  bool meets_available_criteria() const {
+    return hardware_rentable_or_purchasable && software_versioned && software_supported;
+  }
+};
+
+/// Preview deadline (§4.2.2): components must meet Available criteria within
+/// the later of 60 days from submission or the next submission cycle.
+struct PreviewDeadline {
+  std::int64_t submission_day = 0;       ///< days since an epoch
+  std::int64_t next_cycle_day = 0;
+
+  std::int64_t deadline_day() const {
+    const std::int64_t sixty = submission_day + 60;
+    return sixty > next_cycle_day ? sixty : next_cycle_day;
+  }
+  bool is_met(std::int64_t available_day) const { return available_day <= deadline_day(); }
+};
+
+}  // namespace mlperf::core

@@ -1,0 +1,85 @@
+#include "core/division.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mlperf::core {
+
+std::string to_string(Division d) {
+  switch (d) {
+    case Division::kClosed: return "closed";
+    case Division::kOpen: return "open";
+  }
+  throw std::logic_error("unknown Division");
+}
+
+std::string to_string(const HpValue& v) {
+  std::ostringstream os;
+  if (const double* d = std::get_if<double>(&v)) {
+    os << *d;
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    os << *i;
+  } else {
+    os << std::get<std::string>(v);
+  }
+  return os.str();
+}
+
+ClosedDivisionRules closed_rules(const SuiteVersion& suite, BenchmarkId id) {
+  const BenchmarkSpec& spec = find_spec(suite, id);  // validates membership
+  ClosedDivisionRules r;
+  // Common to every benchmark: batch size plus the schedule knobs required to
+  // re-converge at that batch (linear scaling + warmup, per Goyal et al.).
+  // Momentum is on the common list because every SGD reference logs it and
+  // submissions may need to re-tune it together with the batch-scaled lr.
+  r.modifiable_hyperparameters = {"global_batch_size", "learning_rate", "warmup_steps",
+                                  "lr_decay_steps", "seed", "momentum"};
+  r.reference_model_signature = spec.model;
+  switch (id) {
+    case BenchmarkId::kImageClassification:
+      r.reference_optimizer = "sgd_momentum";
+      r.allowed_optimizers = {"sgd_momentum"};
+      if (suite.lars_allowed) {
+        // v0.6 rule change (§5): LARS permitted for large-batch ResNet, with
+        // its own trust coefficient exposed.
+        r.allowed_optimizers.insert("lars");
+        r.modifiable_hyperparameters.insert("lars_eta");
+      }
+      r.reference_augmentation_signature = "random_crop|horizontal_flip|color_jitter";
+      break;
+    case BenchmarkId::kObjectDetectionLight:
+    case BenchmarkId::kObjectDetectionHeavy:
+      r.reference_optimizer = "sgd_momentum";
+      r.allowed_optimizers = {"sgd_momentum"};
+      r.reference_augmentation_signature = "horizontal_flip";
+      break;
+    case BenchmarkId::kTranslationRecurrent:
+      r.reference_optimizer = "adam";
+      r.allowed_optimizers = {"adam", "sgd_momentum"};
+      r.modifiable_hyperparameters.insert("grad_clip_norm");
+      r.reference_augmentation_signature = "";
+      break;
+    case BenchmarkId::kTranslationNonRecurrent:
+      r.reference_optimizer = "adam";
+      r.allowed_optimizers = {"adam"};
+      r.modifiable_hyperparameters.insert("label_smoothing");
+      r.reference_augmentation_signature = "";
+      break;
+    case BenchmarkId::kRecommendation:
+      r.reference_optimizer = "adam";
+      r.allowed_optimizers = {"adam"};
+      r.modifiable_hyperparameters.insert("negatives_per_positive");
+      r.reference_augmentation_signature = "";
+      break;
+    case BenchmarkId::kReinforcementLearning:
+      r.reference_optimizer = "sgd_momentum";
+      r.allowed_optimizers = {"sgd_momentum"};
+      r.modifiable_hyperparameters.insert("selfplay_games_per_epoch");
+      r.modifiable_hyperparameters.insert("mcts_simulations");
+      r.reference_augmentation_signature = "";
+      break;
+  }
+  return r;
+}
+
+}  // namespace mlperf::core

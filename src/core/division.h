@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <variant>
+
+#include "core/benchmark_spec.h"
+
+namespace mlperf::core {
+
+/// Submission divisions (§4.2.1). Closed requires workload equivalence to the
+/// reference and restricts hyperparameters; Open allows different models,
+/// optimizers and augmentations (same dataset and quality metric).
+enum class Division { kClosed, kOpen };
+
+std::string to_string(Division d);
+
+/// A named hyperparameter setting.
+using HpValue = std::variant<double, std::int64_t, std::string>;
+using HyperparameterSet = std::map<std::string, HpValue>;
+
+std::string to_string(const HpValue& v);
+
+/// The Closed-division rulebook for one benchmark: which hyperparameters may
+/// be modified (§3.4 — the whitelist exists so "result differences are due to
+/// system characteristics"), plus the reference signatures a submission must
+/// match (model, optimizer, augmentation pipeline order).
+struct ClosedDivisionRules {
+  std::set<std::string> modifiable_hyperparameters;
+  std::string reference_model_signature;
+  std::string reference_optimizer;          ///< "" = any listed alternative
+  std::set<std::string> allowed_optimizers; ///< e.g. v0.6 adds "lars" for ResNet
+  std::string reference_augmentation_signature;
+
+  bool hyperparameter_allowed(const std::string& name) const {
+    return modifiable_hyperparameters.count(name) > 0;
+  }
+  bool optimizer_allowed(const std::string& name) const {
+    return allowed_optimizers.count(name) > 0;
+  }
+};
+
+/// Rulebook per benchmark for a suite round. Minibatch size is always
+/// modifiable ("submissions must be able to adjust the minibatch size in
+/// order to showcase maximum system efficiency", §3.4), and the LR-schedule
+/// knobs needed to re-converge at the chosen batch come with it.
+ClosedDivisionRules closed_rules(const SuiteVersion& suite, BenchmarkId id);
+
+}  // namespace mlperf::core

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mlperf::core {
+
+/// Value carried by a log event.
+using LogValue = std::variant<double, std::string, bool>;
+
+/// One structured log event (a JSON line in the serialized form). Mirrors the
+/// real mlperf_log: a timestamp, a key, a value, and string metadata.
+struct LogEvent {
+  double time_ms = 0.0;  ///< run-relative milliseconds (from the run's Clock)
+  std::string key;
+  LogValue value;
+  std::map<std::string, std::string> meta;
+
+  double as_number() const;
+  const std::string& as_string() const;
+  bool as_bool() const;
+};
+
+/// Canonical event keys (subset of the real mlperf_log key space, §4.1: logs
+/// carry timestamps for workload stages, periodic quality, and HP choices).
+namespace keys {
+inline constexpr const char* kSubmissionBenchmark = "submission_benchmark";
+inline constexpr const char* kSubmissionOrg = "submission_org";
+inline constexpr const char* kSubmissionDivision = "submission_division";
+inline constexpr const char* kSubmissionCategory = "submission_status";
+inline constexpr const char* kReformatStart = "data_reformat_start";
+inline constexpr const char* kReformatStop = "data_reformat_stop";
+inline constexpr const char* kInitStart = "init_start";
+inline constexpr const char* kInitStop = "init_stop";
+inline constexpr const char* kModelCreationStart = "model_creation_start";
+inline constexpr const char* kModelCreationStop = "model_creation_stop";
+inline constexpr const char* kRunStart = "run_start";
+inline constexpr const char* kRunStop = "run_stop";
+inline constexpr const char* kEpochStart = "epoch_start";
+inline constexpr const char* kEpochStop = "epoch_stop";
+inline constexpr const char* kEvalStart = "eval_start";
+inline constexpr const char* kEvalAccuracy = "eval_accuracy";
+inline constexpr const char* kQualityTarget = "quality_target";
+inline constexpr const char* kQualityReached = "quality_reached";
+inline constexpr const char* kGlobalBatchSize = "global_batch_size";
+inline constexpr const char* kHyperparameter = "hyperparameter";
+inline constexpr const char* kDataTouch = "data_touch";
+inline constexpr const char* kSeed = "seed";
+inline constexpr const char* kAugmentationSignature = "augmentation_signature";
+inline constexpr const char* kModelSignature = "model_signature";
+inline constexpr const char* kOptimizerName = "optimizer_name";
+}  // namespace keys
+
+/// Append-only structured log for one training session. Serializes to JSON
+/// lines and parses its own output (the compliance checker in core/review
+/// consumes parsed logs, exactly as the real results process consumes
+/// submitted log files).
+class MlLog {
+ public:
+  void log(double time_ms, std::string key, LogValue value,
+           std::map<std::string, std::string> meta = {});
+
+  const std::vector<LogEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// First event with the key, if any.
+  const LogEvent* find(const std::string& key) const;
+  /// All events with the key, in order.
+  std::vector<const LogEvent*> find_all(const std::string& key) const;
+  /// Last event with the key, if any.
+  const LogEvent* find_last(const std::string& key) const;
+
+  std::string serialize() const;
+  static MlLog parse(const std::string& json_lines);
+
+  /// Write/read the serialized log as a file — submissions ship their
+  /// training-session logs as artifacts (§4.1). Throws on I/O failure.
+  void write_file(const std::string& path) const;
+  static MlLog read_file(const std::string& path);
+
+ private:
+  std::vector<LogEvent> events_;
+};
+
+/// Escape a string for inclusion in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace mlperf::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+namespace mlperf::core {
+
+/// A quality metric with a target threshold (Table 1's right column). All
+/// current suite metrics are higher-is-better; the flag exists because
+/// time-to-train generalizes to loss-style metrics too (§3.2).
+struct QualityMetric {
+  std::string name;          ///< e.g. "top1_accuracy", "bleu", "hr_at_10"
+  double target = 0.0;
+  bool higher_is_better = true;
+
+  bool reached(double value) const {
+    return higher_is_better ? value >= target : value <= target;
+  }
+};
+
+}  // namespace mlperf::core

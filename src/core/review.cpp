@@ -1,0 +1,184 @@
+#include "core/review.h"
+
+#include <set>
+#include <sstream>
+
+namespace mlperf::core {
+
+std::vector<const ComplianceIssue*> ComplianceReport::errors() const {
+  std::vector<const ComplianceIssue*> out;
+  for (const auto& i : issues)
+    if (i.severity == ComplianceIssue::Severity::kError) out.push_back(&i);
+  return out;
+}
+
+std::string ComplianceReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& i : issues)
+    os << (i.severity == ComplianceIssue::Severity::kError ? "ERROR " : "WARN  ") << i.code
+       << ": " << i.message << "\n";
+  if (issues.empty()) os << "compliant\n";
+  return os.str();
+}
+
+namespace {
+
+void add(ComplianceReport& r, ComplianceIssue::Severity sev, std::string code,
+         std::string message) {
+  r.issues.push_back({sev, std::move(code), std::move(message)});
+}
+
+void check_log(ComplianceReport& report, const MlLog& log, const BenchmarkSpec& spec,
+               double cap_ms, std::size_t run_idx) {
+  const std::string tag = spec.name + " run " + std::to_string(run_idx);
+  const auto starts = log.find_all(keys::kRunStart);
+  const auto stops = log.find_all(keys::kRunStop);
+  if (starts.size() != 1) {
+    add(report, ComplianceIssue::Severity::kError, "run_start_count",
+        tag + ": expected exactly one run_start, found " + std::to_string(starts.size()));
+    return;
+  }
+  if (stops.size() != 1) {
+    add(report, ComplianceIssue::Severity::kError, "run_stop_count",
+        tag + ": expected exactly one run_stop, found " + std::to_string(stops.size()));
+    return;
+  }
+  const double t_start = starts[0]->time_ms;
+  const double t_stop = stops[0]->time_ms;
+  if (t_stop < t_start)
+    add(report, ComplianceIssue::Severity::kError, "run_order",
+        tag + ": run_stop precedes run_start");
+
+  // Untimed regions must close before run_start.
+  const char* region_keys[] = {keys::kInitStart, keys::kInitStop, keys::kReformatStart,
+                               keys::kReformatStop, keys::kModelCreationStart,
+                               keys::kModelCreationStop};
+  for (const char* key : region_keys)
+    for (const auto* e : log.find_all(key))
+      if (e->time_ms > t_start)
+        add(report, ComplianceIssue::Severity::kError, "untimed_region_after_start",
+            tag + ": " + key + " occurs after run_start");
+
+  // Data touches: only inside a reformat region or after run_start.
+  std::vector<std::pair<double, double>> reformat_spans;
+  {
+    const auto rs = log.find_all(keys::kReformatStart);
+    const auto re = log.find_all(keys::kReformatStop);
+    for (std::size_t i = 0; i < rs.size() && i < re.size(); ++i)
+      reformat_spans.emplace_back(rs[i]->time_ms, re[i]->time_ms);
+  }
+  for (const auto* e : log.find_all(keys::kDataTouch)) {
+    if (e->time_ms >= t_start) continue;
+    bool in_reformat = false;
+    for (const auto& [a, b] : reformat_spans)
+      if (e->time_ms >= a && e->time_ms <= b) in_reformat = true;
+    if (!in_reformat)
+      add(report, ComplianceIssue::Severity::kError, "data_touched_untimed",
+          tag + ": training/validation data touched before run_start outside a reformat region");
+  }
+
+  // Model-creation cap.
+  {
+    const auto ms = log.find_all(keys::kModelCreationStart);
+    const auto me = log.find_all(keys::kModelCreationStop);
+    double total = 0.0;
+    for (std::size_t i = 0; i < ms.size() && i < me.size(); ++i)
+      total += me[i]->time_ms - ms[i]->time_ms;
+    if (total > cap_ms)
+      add(report, ComplianceIssue::Severity::kWarning, "model_creation_over_cap",
+          tag + ": model creation " + std::to_string(total) + " ms exceeds the " +
+              std::to_string(cap_ms) + " ms exclusion cap; excess is charged to the score");
+  }
+
+  // Quality.
+  const auto evals = log.find_all(keys::kEvalAccuracy);
+  if (evals.empty()) {
+    add(report, ComplianceIssue::Severity::kError, "no_eval",
+        tag + ": no eval_accuracy events");
+  } else {
+    const double final_q = evals.back()->as_number();
+    if (!spec.mini_quality.reached(final_q))
+      add(report, ComplianceIssue::Severity::kError, "quality_missed",
+          tag + ": final quality " + std::to_string(final_q) + " below target " +
+              std::to_string(spec.mini_quality.target));
+  }
+  if (!log.find(keys::kGlobalBatchSize))
+    add(report, ComplianceIssue::Severity::kWarning, "no_batch_size",
+        tag + ": global_batch_size not logged");
+}
+
+}  // namespace
+
+ComplianceReport review_entry(const BenchmarkEntry& entry, const SuiteVersion& suite,
+                              Division division, double model_creation_cap_ms) {
+  ComplianceReport report;
+  const BenchmarkSpec& spec = find_spec(suite, entry.benchmark);
+
+  if (static_cast<std::int64_t>(entry.runs.size()) < spec.aggregation.required_runs)
+    add(report, ComplianceIssue::Severity::kError, "too_few_runs",
+        spec.name + ": " + std::to_string(entry.runs.size()) + " runs, policy requires " +
+            std::to_string(spec.aggregation.required_runs));
+
+  for (std::size_t i = 0; i < entry.runs.size(); ++i)
+    check_log(report, entry.runs[i].log, spec, model_creation_cap_ms, i);
+
+  // Runs must be identical except for the seed (§2.2.3 protocol).
+  std::set<double> seeds;
+  for (std::size_t i = 0; i < entry.runs.size(); ++i) {
+    const auto* seed = entry.runs[i].log.find(keys::kSeed);
+    if (!seed) {
+      add(report, ComplianceIssue::Severity::kError, "no_seed",
+          spec.name + " run " + std::to_string(i) + ": seed not logged");
+      continue;
+    }
+    if (!seeds.insert(seed->as_number()).second)
+      add(report, ComplianceIssue::Severity::kError, "duplicate_seed",
+          spec.name + ": two runs share seed " + std::to_string(seed->as_number()));
+  }
+
+  if (division == Division::kClosed) {
+    const ClosedDivisionRules rules = closed_rules(suite, entry.benchmark);
+    for (const auto& [name, value] : entry.hyperparameters)
+      if (!rules.hyperparameter_allowed(name))
+        add(report, ComplianceIssue::Severity::kError, "hyperparameter_not_allowed",
+            spec.name + ": '" + name + "' is not modifiable in the Closed division");
+    if (!rules.optimizer_allowed(entry.optimizer_name))
+      add(report, ComplianceIssue::Severity::kError, "optimizer_not_allowed",
+          spec.name + ": optimizer '" + entry.optimizer_name +
+              "' is not allowed in the Closed division this round");
+    if (entry.model_signature != rules.reference_model_signature)
+      add(report, ComplianceIssue::Severity::kError, "model_not_equivalent",
+          spec.name + ": model signature '" + entry.model_signature +
+              "' differs from reference '" + rules.reference_model_signature + "'");
+    if (entry.augmentation_signature != rules.reference_augmentation_signature)
+      add(report, ComplianceIssue::Severity::kError, "augmentation_not_equivalent",
+          spec.name + ": augmentation '" + entry.augmentation_signature +
+              "' differs from reference '" + rules.reference_augmentation_signature +
+              "' (order matters, §2.2.4)");
+  }
+  return report;
+}
+
+ComplianceReport review_submission(const Submission& sub, const SuiteVersion& suite,
+                                   double model_creation_cap_ms) {
+  ComplianceReport report;
+  for (const auto& entry : sub.entries) {
+    ComplianceReport r = review_entry(entry, suite, sub.division, model_creation_cap_ms);
+    report.issues.insert(report.issues.end(), r.issues.begin(), r.issues.end());
+  }
+  return report;
+}
+
+std::int64_t borrow_hyperparameters(BenchmarkEntry& target, const BenchmarkEntry& source,
+                                    const ClosedDivisionRules& rules) {
+  std::int64_t borrowed = 0;
+  for (const auto& [name, value] : source.hyperparameters) {
+    if (!rules.hyperparameter_allowed(name)) continue;
+    if (target.hyperparameters.count(name)) continue;
+    target.hyperparameters[name] = value;
+    ++borrowed;
+  }
+  return borrowed;
+}
+
+}  // namespace mlperf::core

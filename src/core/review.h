@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/submission.h"
+
+namespace mlperf::core {
+
+/// A finding from peer review (§4.1). Errors block publication; warnings are
+/// surfaced to the submitter (resubmission after addressing issues is part
+/// of the process).
+struct ComplianceIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string code;     ///< stable identifier, e.g. "missing_run_stop"
+  std::string message;
+};
+
+struct ComplianceReport {
+  std::vector<ComplianceIssue> issues;
+
+  bool compliant() const {
+    for (const auto& i : issues)
+      if (i.severity == ComplianceIssue::Severity::kError) return false;
+    return true;
+  }
+  std::vector<const ComplianceIssue*> errors() const;
+  std::string to_string() const;
+};
+
+/// The peer-review compliance checker. Works purely from the submission's
+/// serialized artifacts (logs, declared HPs/signatures) — the same position a
+/// human reviewer is in. Checks:
+///   * run counts match the benchmark's aggregation policy;
+///   * every log has run_start before run_stop, and untimed regions (init,
+///     model creation, reformat) close before run_start (§3.2.1);
+///   * training/validation data is only touched after timing starts, or
+///     inside a reformat region (§3.2.1's "timing begins when any training or
+///     validation data is touched");
+///   * model-creation time within the exclusion cap (warning if exceeded —
+///     the excess is charged to the score, discouraging expensive
+///     compilation, §3.2.1);
+///   * quality: eval_accuracy events present, final value meets the target;
+///   * runs differ only in seed: identical logged HPs, distinct seeds
+///     (§2.2.3 / Fig. 2 protocol);
+///   * Closed division: hyperparameters within the whitelist, optimizer
+///     allowed, model and augmentation signatures equal to the reference
+///     (§4.2.1 equivalence).
+ComplianceReport review_entry(const BenchmarkEntry& entry, const SuiteVersion& suite,
+                              Division division, double model_creation_cap_ms);
+
+/// Review every entry of a submission.
+ComplianceReport review_submission(const Submission& sub, const SuiteVersion& suite,
+                                   double model_creation_cap_ms);
+
+/// Hyperparameter borrowing during the review period (§4.1): copy the
+/// source's whitelisted hyperparameters that the target has not set itself,
+/// so systems can be compared "under as similar conditions as possible".
+/// Returns the number of borrowed values.
+std::int64_t borrow_hyperparameters(BenchmarkEntry& target, const BenchmarkEntry& source,
+                                    const ClosedDivisionRules& rules);
+
+}  // namespace mlperf::core

@@ -1,0 +1,17 @@
+#include "core/scale.h"
+
+#include <stdexcept>
+
+namespace mlperf::core {
+
+double CloudScaleModel::scale(const SystemDescription& sys) const {
+  if (sys.num_nodes <= 0) throw std::invalid_argument("CloudScaleModel: bad node count");
+  double accel_weight = 8.0;
+  for (const auto& w : accelerator_weights)
+    if (w.model == sys.accelerator_model) accel_weight = w.weight;
+  return per_processor * static_cast<double>(sys.total_processors()) +
+         per_gb_memory * sys.host_memory_gb * static_cast<double>(sys.num_nodes) +
+         accel_weight * static_cast<double>(sys.total_accelerators());
+}
+
+}  // namespace mlperf::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlperf::core {
+
+/// System description, the §4.1 submission requirement: hardware (nodes,
+/// processors, accelerators, storage, interconnect) and software stack.
+struct SystemDescription {
+  std::string system_name;
+  std::int64_t num_nodes = 1;
+  std::string processor_model;
+  std::int64_t processors_per_node = 1;
+  std::string accelerator_model;   ///< "" if none
+  std::int64_t accelerators_per_node = 0;
+  double host_memory_gb = 0.0;
+  double storage_per_node_tb = 0.0;
+  std::string interconnect;        ///< e.g. "eth-100g", "nvlink+ib"
+  std::string os;
+  std::vector<std::string> libraries;
+
+  std::int64_t total_accelerators() const { return num_nodes * accelerators_per_node; }
+  std::int64_t total_processors() const { return num_nodes * processors_per_node; }
+  /// "Chips" as Figures 4/5 count them: accelerators if present, else CPUs.
+  std::int64_t total_chips() const {
+    return accelerators_per_node > 0 ? total_accelerators() : total_processors();
+  }
+};
+
+/// Per-accelerator relative weight used by the cloud scale metric.
+struct AcceleratorWeight {
+  std::string model;
+  double weight = 1.0;
+};
+
+/// Cloud scale metric (§4.2.3): derived from (1) host processors, (2) host
+/// memory, (3) number and type of accelerators; the paper verified it
+/// correlates with cost across three major clouds. Weights here are the
+/// knobs; the defaults make one mid-range accelerator ~ 8 host cores.
+struct CloudScaleModel {
+  double per_processor = 1.0;
+  double per_gb_memory = 0.05;
+  std::vector<AcceleratorWeight> accelerator_weights;  ///< default weight 8.0
+
+  double scale(const SystemDescription& sys) const;
+};
+
+}  // namespace mlperf::core

@@ -1,0 +1,66 @@
+#include "core/submission.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlperf::core {
+
+ResultsReport score_submission(const Submission& sub, const SuiteVersion& suite,
+                               const CloudScaleModel& scale_model) {
+  ResultsReport report;
+  report.organization = sub.organization;
+  report.system_name = sub.system.system_name;
+  report.division = sub.division;
+  report.category = sub.category;
+  report.system_type = sub.system_type;
+
+  for (const auto& entry : sub.entries) {
+    const BenchmarkSpec& spec = find_spec(suite, entry.benchmark);
+    if (static_cast<std::int64_t>(entry.runs.size()) < spec.aggregation.required_runs)
+      throw std::invalid_argument("score_submission: " + spec.name + " has " +
+                                  std::to_string(entry.runs.size()) + " runs, needs " +
+                                  std::to_string(spec.aggregation.required_runs));
+    std::vector<double> times;
+    times.reserve(entry.runs.size());
+    for (const auto& run : entry.runs) {
+      if (!run.quality_reached)
+        throw std::invalid_argument("score_submission: " + spec.name +
+                                    " contains a run that missed the quality target");
+      times.push_back(run.time_to_train_ms);
+    }
+    ScoredEntry scored;
+    scored.benchmark = entry.benchmark;
+    scored.result = aggregate_runs(times, spec.aggregation);
+    scored.chips = sub.system.total_chips();
+    scored.cloud_scale =
+        sub.system_type == SystemType::kCloud ? scale_model.scale(sub.system) : 0.0;
+    report.entries.push_back(scored);
+  }
+  return report;
+}
+
+std::string format_report(const ResultsReport& report) {
+  std::ostringstream os;
+  os << "submitter: " << report.organization << "  system: " << report.system_name
+     << "  division: " << to_string(report.division)
+     << "  category: " << to_string(report.category)
+     << "  type: " << to_string(report.system_type) << "\n";
+  os << std::left << std::setw(28) << "benchmark" << std::right << std::setw(14)
+     << "score (ms)" << std::setw(12) << "runs used" << std::setw(8) << "chips";
+  os << std::setw(14) << "cloud scale" << "\n";
+  for (const auto& e : report.entries) {
+    os << std::left << std::setw(28) << to_string(e.benchmark) << std::right << std::fixed
+       << std::setprecision(2) << std::setw(14) << e.result.score_ms << std::setw(12)
+       << e.result.runs_used << std::setw(8) << e.chips;
+    if (e.cloud_scale > 0.0) {
+      os << std::setw(14) << e.cloud_scale;
+    } else {
+      os << std::setw(14) << "-";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mlperf::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/benchmark_spec.h"
+#include "core/category.h"
+#include "core/division.h"
+#include "core/mlog.h"
+#include "core/scale.h"
+
+namespace mlperf::core {
+
+/// One training run's artifacts: the structured log plus its parsed-out
+/// headline numbers.
+struct RunResult {
+  MlLog log;
+  double time_to_train_ms = 0.0;
+  double final_quality = 0.0;
+  bool quality_reached = false;
+};
+
+/// All runs of one benchmark within a submission.
+struct BenchmarkEntry {
+  BenchmarkId benchmark;
+  HyperparameterSet hyperparameters;
+  std::string optimizer_name;
+  std::string model_signature;
+  std::string augmentation_signature;
+  std::vector<RunResult> runs;
+};
+
+/// A full submission (§4.1): system description, labels (§4.2), and per-
+/// benchmark entries with the session logs. Code availability is modeled by
+/// the `code_url` field (submissions are open-sourced at publication).
+struct Submission {
+  std::string organization;
+  SystemDescription system;
+  Division division = Division::kClosed;
+  Category category = Category::kAvailable;
+  SystemType system_type = SystemType::kOnPremise;
+  std::string code_url;
+  std::vector<BenchmarkEntry> entries;
+};
+
+/// A scored benchmark entry in the results report.
+struct ScoredEntry {
+  BenchmarkId benchmark;
+  AggregatedResult result;
+  std::int64_t chips = 0;
+  double cloud_scale = 0.0;   ///< 0 when not a cloud submission
+};
+
+/// The published results for one submission. Deliberately has NO summary
+/// score across benchmarks (§4.2.4 explains why: no universal weighting, and
+/// submissions may legitimately omit benchmarks).
+struct ResultsReport {
+  std::string organization;
+  std::string system_name;
+  Division division;
+  Category category;
+  SystemType system_type;
+  std::vector<ScoredEntry> entries;
+};
+
+/// Score a submission: per benchmark, verify every run reached quality, apply
+/// the suite's aggregation policy (drop best/worst, olympic mean). Throws if
+/// an entry has too few runs or a run missed quality — those are submission
+/// errors that review should have caught.
+ResultsReport score_submission(const Submission& sub, const SuiteVersion& suite,
+                               const CloudScaleModel& scale_model);
+
+/// Render the report as a fixed-width table (one row per benchmark).
+std::string format_report(const ResultsReport& report);
+
+}  // namespace mlperf::core

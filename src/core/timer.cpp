@@ -1,0 +1,66 @@
+#include "core/timer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mlperf::core {
+
+TrainingTimer::TrainingTimer(const Clock& clock, MlLog& log, double model_creation_cap_ms)
+    : clock_(&clock), log_(&log), model_creation_cap_ms_(model_creation_cap_ms) {}
+
+TrainingTimer::Region::Region(TrainingTimer& t, const char* start_key, const char* stop_key)
+    : timer_(t), stop_key_(stop_key) {
+  timer_.region_start(start_key);
+}
+
+TrainingTimer::Region::~Region() { timer_.region_stop(stop_key_); }
+
+void TrainingTimer::region_start(const char* key) {
+  if (run_started())
+    throw std::logic_error("TrainingTimer: untimed regions must precede start_run");
+  if (open_key_ != nullptr) throw std::logic_error("TrainingTimer: regions cannot nest");
+  const double t = clock_->now_ms();
+  if (first_event_ms_ < 0.0) first_event_ms_ = t;
+  region_open_ms_ = t;
+  open_key_ = key;
+  log_->log(t, key, true);
+}
+
+void TrainingTimer::region_stop(const char* key) {
+  const double t = clock_->now_ms();
+  if (std::strcmp(key, keys::kModelCreationStop) == 0)
+    model_creation_total_ms_ += t - region_open_ms_;
+  region_open_ms_ = -1.0;
+  open_key_ = nullptr;
+  log_->log(t, key, true);
+}
+
+void TrainingTimer::start_run() {
+  if (run_started()) throw std::logic_error("TrainingTimer: start_run called twice");
+  if (open_key_ != nullptr)
+    throw std::logic_error("TrainingTimer: close untimed regions before start_run");
+  run_start_ms_ = clock_->now_ms();
+  if (first_event_ms_ < 0.0) first_event_ms_ = run_start_ms_;
+  log_->log(run_start_ms_, keys::kRunStart, true);
+}
+
+void TrainingTimer::stop_run() {
+  if (!run_started()) throw std::logic_error("TrainingTimer: stop_run before start_run");
+  if (run_stopped()) throw std::logic_error("TrainingTimer: stop_run called twice");
+  run_stop_ms_ = clock_->now_ms();
+  log_->log(run_stop_ms_, keys::kRunStop, true);
+}
+
+double TrainingTimer::time_to_train_ms() const {
+  if (!run_stopped()) throw std::logic_error("TrainingTimer: run not complete");
+  const double excess =
+      std::max(0.0, model_creation_total_ms_ - model_creation_cap_ms_);
+  return (run_stop_ms_ - run_start_ms_) + excess;
+}
+
+double TrainingTimer::unexcluded_time_ms() const {
+  if (!run_stopped()) throw std::logic_error("TrainingTimer: run not complete");
+  return run_stop_ms_ - first_event_ms_;
+}
+
+}  // namespace mlperf::core

@@ -1,0 +1,56 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlperf::data {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+Tensor RandomCrop::apply(const Tensor& img, Rng& rng) const {
+  if (img.ndim() != 3) throw std::invalid_argument("RandomCrop: expects CHW");
+  const std::int64_t c = img.shape()[0], h = img.shape()[1], w = img.shape()[2];
+  const std::int64_t ph = h + 2 * pad_, pw = w + 2 * pad_;
+  const std::int64_t oi = static_cast<std::int64_t>(rng.randint(static_cast<std::uint64_t>(2 * pad_ + 1)));
+  const std::int64_t oj = static_cast<std::int64_t>(rng.randint(static_cast<std::uint64_t>(2 * pad_ + 1)));
+  Tensor out({c, h, w});
+  for (std::int64_t ch = 0; ch < c; ++ch)
+    for (std::int64_t i = 0; i < h; ++i)
+      for (std::int64_t j = 0; j < w; ++j) {
+        const std::int64_t si = i + oi - pad_;
+        const std::int64_t sj = j + oj - pad_;
+        out.at({ch, i, j}) =
+            (si >= 0 && si < h && sj >= 0 && sj < w) ? img.at({ch, si, sj}) : 0.0f;
+      }
+  (void)ph;
+  (void)pw;
+  return out;
+}
+
+Tensor RandomHorizontalFlip::apply(const Tensor& img, Rng& rng) const {
+  if (img.ndim() != 3) throw std::invalid_argument("RandomHorizontalFlip: expects CHW");
+  if (rng.uniform() >= p_) return img;
+  const std::int64_t c = img.shape()[0], h = img.shape()[1], w = img.shape()[2];
+  Tensor out({c, h, w});
+  for (std::int64_t ch = 0; ch < c; ++ch)
+    for (std::int64_t i = 0; i < h; ++i)
+      for (std::int64_t j = 0; j < w; ++j) out.at({ch, i, j}) = img.at({ch, i, w - 1 - j});
+  return out;
+}
+
+Tensor ColorJitter::apply(const Tensor& img, Rng& rng) const {
+  const float scale = 1.0f + rng.uniform(-strength_, strength_);
+  const float shift = rng.uniform(-strength_ * 0.5f, strength_ * 0.5f);
+  return img.map([scale, shift](float v) { return std::clamp(v * scale + shift, 0.0f, 1.0f); });
+}
+
+AugmentationPipeline AugmentationPipeline::reference_image_pipeline() {
+  AugmentationPipeline p;
+  p.add(std::make_unique<RandomCrop>(2))
+      .add(std::make_unique<RandomHorizontalFlip>(0.5f))
+      .add(std::make_unique<ColorJitter>(0.15f));
+  return p;
+}
+
+}  // namespace mlperf::data

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace mlperf::data {
+
+/// One augmentation step over a CHW image. Implementations must be pure
+/// functions of (input, rng) so a fixed seed reproduces the exact pipeline.
+class Augmentation {
+ public:
+  virtual ~Augmentation() = default;
+  virtual tensor::Tensor apply(const tensor::Tensor& img, tensor::Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Pad by `pad` (zeros) then take a random crop back to the original size —
+/// the classic random-crop used by the ResNet reference.
+class RandomCrop final : public Augmentation {
+ public:
+  explicit RandomCrop(std::int64_t pad) : pad_(pad) {}
+  tensor::Tensor apply(const tensor::Tensor& img, tensor::Rng& rng) const override;
+  std::string name() const override { return "random_crop"; }
+
+ private:
+  std::int64_t pad_;
+};
+
+/// Horizontal mirror with probability p.
+class RandomHorizontalFlip final : public Augmentation {
+ public:
+  explicit RandomHorizontalFlip(float p = 0.5f) : p_(p) {}
+  tensor::Tensor apply(const tensor::Tensor& img, tensor::Rng& rng) const override;
+  std::string name() const override { return "horizontal_flip"; }
+
+ private:
+  float p_;
+};
+
+/// Multiplicative brightness/contrast jitter.
+class ColorJitter final : public Augmentation {
+ public:
+  explicit ColorJitter(float strength = 0.2f) : strength_(strength) {}
+  tensor::Tensor apply(const tensor::Tensor& img, tensor::Rng& rng) const override;
+  std::string name() const override { return "color_jitter"; }
+
+ private:
+  float strength_;
+};
+
+/// An ordered augmentation pipeline. Order is part of the pipeline's identity
+/// (the paper's §2.2.4 notes frameworks disagree on augmentation order, which
+/// breaks workload equivalence), so `signature()` — used by the Closed-
+/// division compliance check — encodes it.
+class AugmentationPipeline {
+ public:
+  AugmentationPipeline() = default;
+
+  AugmentationPipeline& add(std::unique_ptr<Augmentation> aug) {
+    steps_.push_back(std::move(aug));
+    return *this;
+  }
+
+  tensor::Tensor apply(const tensor::Tensor& img, tensor::Rng& rng) const {
+    tensor::Tensor out = img;
+    for (const auto& s : steps_) out = s->apply(out, rng);
+    return out;
+  }
+
+  /// "random_crop|horizontal_flip|color_jitter" — order-sensitive.
+  std::string signature() const {
+    std::string sig;
+    for (const auto& s : steps_) {
+      if (!sig.empty()) sig += '|';
+      sig += s->name();
+    }
+    return sig;
+  }
+
+  std::size_t size() const { return steps_.size(); }
+
+  /// The reference pipeline for image classification (crop -> flip -> jitter).
+  static AugmentationPipeline reference_image_pipeline();
+
+ private:
+  std::vector<std::unique_ptr<Augmentation>> steps_;
+};
+
+}  // namespace mlperf::data

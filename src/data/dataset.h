@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace mlperf::data {
+
+/// A labeled image example. `image` is CHW float in [0, 1] after decode.
+struct ImageExample {
+  tensor::Tensor image;
+  std::int64_t label = 0;
+};
+
+/// Raw (pre-reformat) image record: byte pixels, as a dataset on disk would
+/// store them. The reformat stage (paper §3.2.1: untimed, one-time) converts
+/// these to packed float records; per-example augmentation stays in the timed
+/// training loop by construction.
+struct RawImageRecord {
+  std::vector<std::uint8_t> pixels;  // CHW
+  std::int64_t channels = 0, height = 0, width = 0;
+  std::int64_t label = 0;
+};
+
+/// Synthetic stand-in for ImageNet (see DESIGN.md substitution table).
+///
+/// Each class has a fixed procedurally-generated prototype (a mixture of
+/// class-keyed sinusoid gratings and blobs); an example is its class
+/// prototype plus per-example jitter, shift and noise. Difficulty is
+/// controlled by `noise`: higher noise means more epochs to a given accuracy,
+/// which is what lets the mini-workload reproduce the paper's convergence
+/// phenomena (Figs 1-3) in seconds.
+class SyntheticImageDataset {
+ public:
+  struct Config {
+    std::int64_t num_classes = 10;
+    std::int64_t channels = 3;
+    std::int64_t height = 16;
+    std::int64_t width = 16;
+    std::int64_t train_size = 512;
+    std::int64_t val_size = 256;
+    float noise = 0.35f;          ///< pixel noise stddev
+    std::uint64_t seed = 2020;    ///< dataset identity (not the run seed)
+  };
+
+  explicit SyntheticImageDataset(const Config& config);
+
+  const Config& config() const { return config_; }
+  std::int64_t train_size() const { return static_cast<std::int64_t>(train_.size()); }
+  std::int64_t val_size() const { return static_cast<std::int64_t>(val_.size()); }
+
+  const RawImageRecord& train_raw(std::int64_t i) const { return train_.at(static_cast<std::size_t>(i)); }
+  const RawImageRecord& val_raw(std::int64_t i) const { return val_.at(static_cast<std::size_t>(i)); }
+
+  /// Decode a raw record to float CHW in [0, 1].
+  static ImageExample decode(const RawImageRecord& rec);
+
+ private:
+  RawImageRecord make_example(std::int64_t label, tensor::Rng& rng) const;
+
+  Config config_;
+  std::vector<tensor::Tensor> prototypes_;  // per-class CHW float
+  std::vector<RawImageRecord> train_;
+  std::vector<RawImageRecord> val_;
+};
+
+/// Packed float records produced by the one-time reformat stage (analogue of
+/// building an LMDB/TFRecord database). Reformatting must happen before the
+/// training timer starts; core::TrainingTimer enforces/logs this.
+class ReformattedImageSet {
+ public:
+  ReformattedImageSet() = default;
+
+  /// Reformat an entire split. Deliberately does decode + normalization only;
+  /// no augmentation is allowed here (paper §3.2.1 forbids moving training-
+  /// time processing into the reformat stage).
+  static ReformattedImageSet from_raw(const std::vector<const RawImageRecord*>& records);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(examples_.size()); }
+  const ImageExample& get(std::int64_t i) const { return examples_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  std::vector<ImageExample> examples_;
+};
+
+/// Convenience: reformat both splits of a SyntheticImageDataset.
+struct ReformattedSplits {
+  ReformattedImageSet train;
+  ReformattedImageSet val;
+};
+ReformattedSplits reformat(const SyntheticImageDataset& ds);
+
+}  // namespace mlperf::data

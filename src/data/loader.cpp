@@ -1,0 +1,69 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlperf::data {
+
+using tensor::Tensor;
+
+ImageLoader::ImageLoader(const ReformattedImageSet& set, std::int64_t batch_size,
+                         const AugmentationPipeline* augment, tensor::Rng& rng, bool drop_last)
+    : set_(&set), batch_size_(batch_size), augment_(augment), rng_(&rng),
+      drop_last_(drop_last) {
+  if (batch_size <= 0) throw std::invalid_argument("ImageLoader: batch_size must be > 0");
+  start_epoch();
+}
+
+void ImageLoader::start_epoch() {
+  order_ = rng_->permutation(static_cast<std::size_t>(set_->size()));
+  cursor_ = 0;
+  limit_ = set_->size();
+  if (drop_last_) limit_ -= limit_ % batch_size_;
+}
+
+std::int64_t ImageLoader::batches_per_epoch() const {
+  if (drop_last_) return set_->size() / batch_size_;
+  return (set_->size() + batch_size_ - 1) / batch_size_;
+}
+
+ImageBatch ImageLoader::next() {
+  if (!has_next()) throw std::logic_error("ImageLoader: epoch exhausted");
+  const std::int64_t end = std::min(cursor_ + batch_size_, limit_);
+  const std::int64_t n = end - cursor_;
+  const ImageExample& first = set_->get(static_cast<std::int64_t>(order_[static_cast<std::size_t>(cursor_)]));
+  const auto& ishape = first.image.shape();
+  ImageBatch batch;
+  batch.images = Tensor({n, ishape[0], ishape[1], ishape[2]});
+  batch.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t img_numel = first.image.numel();
+  for (std::int64_t b = 0; b < n; ++b) {
+    const ImageExample& ex =
+        set_->get(static_cast<std::int64_t>(order_[static_cast<std::size_t>(cursor_ + b)]));
+    Tensor img = augment_ ? augment_->apply(ex.image, *rng_) : ex.image;
+    if (img.numel() != img_numel) throw std::logic_error("ImageLoader: inconsistent image size");
+    std::copy(img.vec().begin(), img.vec().end(), batch.images.vec().begin() + b * img_numel);
+    batch.labels[static_cast<std::size_t>(b)] = ex.label;
+  }
+  cursor_ = end;
+  return batch;
+}
+
+ImageBatch make_batch(const std::vector<const ImageExample*>& examples) {
+  if (examples.empty()) throw std::invalid_argument("make_batch: empty");
+  const auto& ishape = examples[0]->image.shape();
+  const std::int64_t n = static_cast<std::int64_t>(examples.size());
+  ImageBatch batch;
+  batch.images = Tensor({n, ishape[0], ishape[1], ishape[2]});
+  batch.labels.resize(examples.size());
+  const std::int64_t img_numel = examples[0]->image.numel();
+  for (std::int64_t b = 0; b < n; ++b) {
+    const auto* ex = examples[static_cast<std::size_t>(b)];
+    std::copy(ex->image.vec().begin(), ex->image.vec().end(),
+              batch.images.vec().begin() + b * img_numel);
+    batch.labels[static_cast<std::size_t>(b)] = ex->label;
+  }
+  return batch;
+}
+
+}  // namespace mlperf::data

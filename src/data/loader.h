@@ -1,0 +1,50 @@
+#pragma once
+
+#include "data/augment.h"
+#include "data/dataset.h"
+
+namespace mlperf::data {
+
+/// A minibatch of images: NCHW tensor plus labels.
+struct ImageBatch {
+  tensor::Tensor images;             // [N, C, H, W]
+  std::vector<std::int64_t> labels;  // size N
+};
+
+/// Epoch-based minibatch loader over a reformatted image set.
+///
+/// Each epoch draws a fresh shuffle from the run's Rng (the paper §2.2.3
+/// lists "random data traversal" as a variance source — fixing the seed fixes
+/// the traversal). Augmentation runs per example at load time, i.e. inside
+/// the timed portion of training (paper §3.2.1).
+class ImageLoader {
+ public:
+  ImageLoader(const ReformattedImageSet& set, std::int64_t batch_size,
+              const AugmentationPipeline* augment, tensor::Rng& rng, bool drop_last = false);
+
+  /// Start a new epoch (reshuffles).
+  void start_epoch();
+
+  /// True if another batch is available this epoch.
+  bool has_next() const { return cursor_ < limit_; }
+
+  /// Next minibatch; the last one may be smaller unless drop_last.
+  ImageBatch next();
+
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  const ReformattedImageSet* set_;
+  std::int64_t batch_size_;
+  const AugmentationPipeline* augment_;  // nullptr = no augmentation (eval)
+  tensor::Rng* rng_;
+  bool drop_last_;
+  std::vector<std::size_t> order_;
+  std::int64_t cursor_ = 0;
+  std::int64_t limit_ = 0;
+};
+
+/// Assemble a batch tensor from (already augmented) examples.
+ImageBatch make_batch(const std::vector<const ImageExample*>& examples);
+
+}  // namespace mlperf::data

@@ -1,0 +1,112 @@
+#include "data/recsys.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+
+namespace mlperf::data {
+
+using tensor::Rng;
+
+ImplicitCfDataset::ImplicitCfDataset(const Config& config) : config_(config) {
+  if (config_.interactions_per_user < 2)
+    throw std::invalid_argument("ImplicitCfDataset: need >= 2 interactions per user (1 held out)");
+  if (config_.num_items - config_.interactions_per_user < config_.num_eval_negatives)
+    throw std::invalid_argument(
+        "ImplicitCfDataset: not enough non-positive items to sample num_eval_negatives "
+        "distinct eval negatives per user");
+  Rng rng(config_.seed ^ 0x5EC0F1A7ULL);
+
+  // Latent factors: users drawn from a handful of taste clusters; item
+  // popularity Zipf-like via a rank-dependent bias.
+  const std::int64_t d = config_.latent_dim;
+  const std::int64_t clusters = 4;
+  std::vector<std::vector<float>> cluster_centers(
+      static_cast<std::size_t>(clusters), std::vector<float>(static_cast<std::size_t>(d)));
+  for (auto& c : cluster_centers)
+    for (auto& v : c) v = static_cast<float>(rng.normal(0.0, 1.0));
+
+  std::vector<std::vector<float>> user_f(static_cast<std::size_t>(config_.num_users));
+  for (std::int64_t u = 0; u < config_.num_users; ++u) {
+    const auto& center = cluster_centers[static_cast<std::size_t>(
+        rng.randint(static_cast<std::uint64_t>(clusters)))];
+    auto& f = user_f[static_cast<std::size_t>(u)];
+    f.resize(static_cast<std::size_t>(d));
+    for (std::int64_t j = 0; j < d; ++j)
+      f[static_cast<std::size_t>(j)] =
+          center[static_cast<std::size_t>(j)] +
+          static_cast<float>(rng.normal(0.0, config_.user_noise));
+  }
+  std::vector<std::vector<float>> item_f(static_cast<std::size_t>(config_.num_items));
+  std::vector<float> item_bias(static_cast<std::size_t>(config_.num_items));
+  for (std::int64_t i = 0; i < config_.num_items; ++i) {
+    auto& f = item_f[static_cast<std::size_t>(i)];
+    f.resize(static_cast<std::size_t>(d));
+    for (std::int64_t j = 0; j < d; ++j)
+      f[static_cast<std::size_t>(j)] = static_cast<float>(rng.normal(0.0, 1.0));
+    // Zipf-like popularity: early item ids are much more popular.
+    item_bias[static_cast<std::size_t>(i)] =
+        1.5f / std::sqrt(1.0f + static_cast<float>(i)) - 0.6f;
+  }
+
+  positives_.resize(static_cast<std::size_t>(config_.num_users));
+  holdout_.resize(static_cast<std::size_t>(config_.num_users));
+  auto affinity = [&](std::int64_t u, std::int64_t i) {
+    float s = item_bias[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < d; ++j)
+      s += user_f[static_cast<std::size_t>(u)][static_cast<std::size_t>(j)] *
+           item_f[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+           config_.signal_strength;
+    return s;
+  };
+
+  for (std::int64_t u = 0; u < config_.num_users; ++u) {
+    auto& pos = positives_[static_cast<std::size_t>(u)];
+    std::int64_t guard = 0;
+    while (static_cast<std::int64_t>(pos.size()) < config_.interactions_per_user) {
+      const std::int64_t i = static_cast<std::int64_t>(
+          rng.randint(static_cast<std::uint64_t>(config_.num_items)));
+      const float p = 1.0f / (1.0f + std::exp(-affinity(u, i)));
+      if (rng.uniform() < p) pos.insert(i);
+      if (++guard > 100000)
+        throw std::logic_error("ImplicitCfDataset: failed to sample interactions");
+    }
+    // Hold out one positive (the "last" interaction), train on the rest.
+    std::vector<std::int64_t> items(pos.begin(), pos.end());
+    std::sort(items.begin(), items.end());
+    const std::int64_t held =
+        items[static_cast<std::size_t>(rng.randint(static_cast<std::uint64_t>(items.size())))];
+    holdout_[static_cast<std::size_t>(u)] = held;
+    for (std::int64_t item : items)
+      if (item != held) train_.push_back({u, item});
+  }
+
+  // Fixed eval candidate lists (holdout + sampled negatives), per NCF protocol.
+  eval_candidates_.resize(static_cast<std::size_t>(config_.num_users));
+  for (std::int64_t u = 0; u < config_.num_users; ++u) {
+    auto& cand = eval_candidates_[static_cast<std::size_t>(u)];
+    cand.push_back(holdout_[static_cast<std::size_t>(u)]);
+    while (static_cast<std::int64_t>(cand.size()) < config_.num_eval_negatives + 1) {
+      const std::int64_t i = static_cast<std::int64_t>(
+          rng.randint(static_cast<std::uint64_t>(config_.num_items)));
+      if (!positives_[static_cast<std::size_t>(u)].count(i) &&
+          std::find(cand.begin(), cand.end(), i) == cand.end())
+        cand.push_back(i);
+    }
+  }
+}
+
+std::int64_t ImplicitCfDataset::sample_negative(std::int64_t user, Rng& rng) const {
+  const auto& pos = positives_[static_cast<std::size_t>(user)];
+  std::int64_t guard = 0;
+  for (;;) {
+    const std::int64_t i = static_cast<std::int64_t>(
+        rng.randint(static_cast<std::uint64_t>(config_.num_items)));
+    if (!pos.count(i)) return i;
+    if (++guard > 100000) throw std::logic_error("sample_negative: item space exhausted");
+  }
+}
+
+}  // namespace mlperf::data

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace mlperf::data {
+
+/// A positive user-item interaction.
+struct Interaction {
+  std::int64_t user = 0;
+  std::int64_t item = 0;
+};
+
+/// Synthetic implicit-feedback dataset standing in for MovieLens-20M.
+///
+/// Follows the fractal-expansion idea the paper cites as the v0.7 direction
+/// (Belletti et al. 2019): a small latent-factor "seed" preference matrix is
+/// expanded so item popularity is heavy-tailed (Zipf-like) and users have
+/// correlated tastes — the properties that shape embedding-table access
+/// patterns. Evaluation is standard NCF leave-one-out: the last interaction
+/// of each user is held out and ranked against `num_eval_negatives` sampled
+/// negatives; quality is hit-rate@K.
+class ImplicitCfDataset {
+ public:
+  struct Config {
+    std::int64_t num_users = 64;
+    std::int64_t num_items = 128;
+    std::int64_t interactions_per_user = 20;
+    std::int64_t latent_dim = 6;
+    std::int64_t num_eval_negatives = 50;
+    /// Weight of the latent-factor term in the interaction logit; higher
+    /// values make user taste more predictable (controls task difficulty).
+    float signal_strength = 2.5f;
+    /// Stddev of per-user deviation from their taste cluster.
+    float user_noise = 0.1f;
+    std::uint64_t seed = 2020;
+  };
+
+  explicit ImplicitCfDataset(const Config& config);
+
+  const Config& config() const { return config_; }
+  std::int64_t num_users() const { return config_.num_users; }
+  std::int64_t num_items() const { return config_.num_items; }
+
+  const std::vector<Interaction>& train_interactions() const { return train_; }
+  /// Per-user held-out positive item.
+  const std::vector<std::int64_t>& holdout() const { return holdout_; }
+  /// Per-user eval candidate lists: holdout item + sampled negatives.
+  const std::vector<std::vector<std::int64_t>>& eval_candidates() const { return eval_candidates_; }
+
+  bool is_positive(std::int64_t user, std::int64_t item) const {
+    return positives_[static_cast<std::size_t>(user)].count(item) > 0;
+  }
+
+  /// Sample a training negative item for `user` (not in their positives).
+  std::int64_t sample_negative(std::int64_t user, tensor::Rng& rng) const;
+
+ private:
+  Config config_;
+  std::vector<Interaction> train_;
+  std::vector<std::int64_t> holdout_;
+  std::vector<std::vector<std::int64_t>> eval_candidates_;
+  std::vector<std::unordered_set<std::int64_t>> positives_;
+};
+
+}  // namespace mlperf::data

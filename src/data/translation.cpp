@@ -1,0 +1,79 @@
+#include "data/translation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlperf::data {
+
+using tensor::Rng;
+
+SyntheticTranslationDataset::SyntheticTranslationDataset(const Config& config)
+    : config_(config) {
+  if (config_.min_len < 2 || config_.max_len < config_.min_len)
+    throw std::invalid_argument("SyntheticTranslationDataset: bad length range");
+  Rng map_rng(config_.seed ^ 0x7A6513A7ULL);
+  mapping_.resize(static_cast<std::size_t>(config_.vocab));
+  for (std::int64_t i = 0; i < config_.vocab; ++i) mapping_[static_cast<std::size_t>(i)] = i;
+  map_rng.shuffle(mapping_);
+
+  Rng rng(config_.seed ^ 0x77A15EEDULL);
+  train_.reserve(static_cast<std::size_t>(config_.train_size));
+  for (std::int64_t i = 0; i < config_.train_size; ++i) train_.push_back(make_pair(rng));
+  val_.reserve(static_cast<std::size_t>(config_.val_size));
+  for (std::int64_t i = 0; i < config_.val_size; ++i) val_.push_back(make_pair(rng));
+}
+
+TokenSeq SyntheticTranslationDataset::translate_reference(const TokenSeq& source) const {
+  // 1) map each word through the bijection; 2) apply the reordering rule.
+  TokenSeq out;
+  out.reserve(source.size());
+  for (std::int64_t tok : source) {
+    const std::int64_t word = tok - kFirstWord;
+    if (word < 0 || word >= config_.vocab)
+      throw std::out_of_range("translate_reference: token out of range");
+    out.push_back(mapping_[static_cast<std::size_t>(word)] + kFirstWord);
+  }
+  for (std::size_t i = 0; i + 1 < out.size(); i += 2) {
+    switch (config_.reorder) {
+      case ReorderRule::kNone:
+        break;
+      case ReorderRule::kSwapAdjacent:
+        std::swap(out[i], out[i + 1]);
+        break;
+      case ReorderRule::kConditional:
+        if ((source[i] - kFirstWord) % 2 == 0) std::swap(out[i], out[i + 1]);
+        break;
+    }
+  }
+  return out;
+}
+
+SentencePair SyntheticTranslationDataset::make_pair(Rng& rng) const {
+  const std::int64_t len =
+      config_.min_len + static_cast<std::int64_t>(rng.randint(
+                            static_cast<std::uint64_t>(config_.max_len - config_.min_len + 1)));
+  SentencePair p;
+  p.source.reserve(static_cast<std::size_t>(len));
+  for (std::int64_t i = 0; i < len; ++i)
+    p.source.push_back(kFirstWord + static_cast<std::int64_t>(rng.randint(
+                                        static_cast<std::uint64_t>(config_.vocab))));
+  p.target = translate_reference(p.source);
+  return p;
+}
+
+std::vector<TokenSeq> pad_batch(const std::vector<TokenSeq>& seqs, std::int64_t* out_len) {
+  std::int64_t max_len = 0;
+  for (const auto& s : seqs)
+    max_len = std::max(max_len, static_cast<std::int64_t>(s.size()));
+  std::vector<TokenSeq> out;
+  out.reserve(seqs.size());
+  for (const auto& s : seqs) {
+    TokenSeq padded = s;
+    padded.resize(static_cast<std::size_t>(max_len), kPad);
+    out.push_back(std::move(padded));
+  }
+  if (out_len) *out_len = max_len;
+  return out;
+}
+
+}  // namespace mlperf::data

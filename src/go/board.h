@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace mlperf::go {
+
+enum class Stone : std::uint8_t { kEmpty = 0, kBlack = 1, kWhite = 2 };
+
+inline Stone opponent(Stone s) {
+  if (s == Stone::kBlack) return Stone::kWhite;
+  if (s == Stone::kWhite) return Stone::kBlack;
+  return Stone::kEmpty;
+}
+
+/// A move: a point index in [0, size*size) or pass().
+struct Move {
+  std::int64_t point = -1;  // -1 = pass
+
+  static Move pass() { return Move{-1}; }
+  static Move at(std::int64_t p) { return Move{p}; }
+  bool is_pass() const { return point < 0; }
+  bool operator==(const Move&) const = default;
+};
+
+/// Full Go rules on an N×N board (default 9×9, the paper's MiniGo board):
+/// captures, suicide prohibition, positional superko (via Zobrist hashing of
+/// all previous positions), two-pass game end, and Tromp-Taylor area scoring.
+class Board {
+ public:
+  explicit Board(std::int64_t size = 9, float komi = 5.5f);
+
+  std::int64_t size() const { return size_; }
+  std::int64_t num_points() const { return size_ * size_; }
+  float komi() const { return komi_; }
+  Stone to_play() const { return to_play_; }
+  Stone at(std::int64_t p) const { return grid_.at(static_cast<std::size_t>(p)); }
+  Stone at(std::int64_t row, std::int64_t col) const { return at(row * size_ + col); }
+  std::int64_t move_count() const { return move_count_; }
+  bool game_over() const { return consecutive_passes_ >= 2; }
+
+  /// Is this move legal for the side to play (occupancy, suicide, superko)?
+  bool is_legal(Move m) const;
+
+  /// All legal moves (including pass, which is always legal).
+  std::vector<Move> legal_moves() const;
+
+  /// Play a move; throws std::invalid_argument if illegal.
+  void play(Move m);
+
+  /// Tromp-Taylor area score from Black's perspective (stones + exclusive
+  /// territory), minus komi. Positive = Black wins.
+  float tromp_taylor_score() const;
+
+  /// Winner under Tromp-Taylor (kEmpty = draw, impossible with half komi).
+  Stone winner() const;
+
+  /// Liberties of the group containing p (0 if p is empty).
+  std::int64_t liberties(std::int64_t p) const;
+
+  /// Zobrist hash of the current position (stones + side to play not mixed;
+  /// superko in this implementation is positional).
+  std::uint64_t position_hash() const { return hash_; }
+
+  /// Orthogonal neighbours of a point.
+  std::vector<std::int64_t> neighbors(std::int64_t p) const;
+
+  std::string to_string() const;
+
+ private:
+  struct GroupInfo {
+    std::vector<std::int64_t> stones;
+    std::int64_t liberties = 0;
+  };
+  GroupInfo group_at(std::int64_t p) const;
+  void remove_group(const std::vector<std::int64_t>& stones);
+  void set_stone(std::int64_t p, Stone s);
+  /// Hash after hypothetically playing m (for superko); nullopt if suicide.
+  std::optional<std::uint64_t> hash_after(Move m) const;
+
+  std::int64_t size_;
+  float komi_;
+  std::vector<Stone> grid_;
+  Stone to_play_ = Stone::kBlack;
+  std::int64_t consecutive_passes_ = 0;
+  std::int64_t move_count_ = 0;
+  std::uint64_t hash_ = 0;
+  std::unordered_set<std::uint64_t> history_;  // positions seen (superko)
+};
+
+/// A finished or in-progress game record: the move sequence from an empty
+/// board. Used both for MiniGo training data and as "human reference games"
+/// for the move-prediction quality metric.
+struct GameRecord {
+  std::int64_t board_size = 9;
+  float komi = 5.5f;
+  std::vector<Move> moves;
+  Stone winner = Stone::kEmpty;
+};
+
+}  // namespace mlperf::go

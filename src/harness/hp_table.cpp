@@ -1,0 +1,114 @@
+#include "harness/hp_table.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlperf::harness {
+
+using core::BenchmarkId;
+
+namespace {
+
+struct ReferencePoint {
+  std::int64_t per_chip_batch;  ///< reference per-chip batch
+  std::int64_t base_batch;      ///< batch the base_lr was tuned at
+  double base_lr;
+  std::string optimizer;
+  std::int64_t base_warmup_steps;
+  std::int64_t lars_threshold_batch;  ///< 0 = LARS never applies
+};
+
+ReferencePoint reference_point(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kImageClassification:
+      return {64, 256, 0.1, "sgd_momentum", 250, 8192};
+    case BenchmarkId::kObjectDetectionLight:
+      return {16, 32, 1e-3, "sgd_momentum", 300, 0};
+    case BenchmarkId::kObjectDetectionHeavy:
+      return {2, 16, 2e-2, "sgd_momentum", 500, 0};
+    case BenchmarkId::kTranslationRecurrent:
+      return {64, 128, 1e-3, "adam", 200, 0};
+    case BenchmarkId::kTranslationNonRecurrent:
+      return {128, 256, 2e-3, "adam", 4000, 0};
+    case BenchmarkId::kRecommendation:
+      return {1024, 1024, 1e-3, "adam", 0, 0};
+    case BenchmarkId::kReinforcementLearning:
+      return {16, 16, 1e-2, "sgd_momentum", 0, 0};
+  }
+  throw std::logic_error("reference_point: unknown benchmark");
+}
+
+}  // namespace
+
+HpRecommendation recommend_hyperparameters(const core::SuiteVersion& suite, BenchmarkId id,
+                                           std::int64_t chips, numerics::Format precision) {
+  if (chips <= 0) throw std::invalid_argument("recommend_hyperparameters: chips must be > 0");
+  (void)core::find_spec(suite, id);  // validates suite membership
+  const ReferencePoint ref = reference_point(id);
+
+  HpRecommendation rec;
+  const std::int64_t global_batch = chips * ref.per_chip_batch;
+  const double scale_up =
+      static_cast<double>(global_batch) / static_cast<double>(ref.base_batch);
+
+  rec.hyperparameters["global_batch_size"] = global_batch;
+  // Linear scaling rule; Adam benchmarks scale sublinearly (sqrt), the common
+  // practice for adaptive optimizers.
+  const bool adaptive = ref.optimizer == "adam";
+  const double lr =
+      ref.base_lr * (adaptive ? std::sqrt(std::max(scale_up, 1.0)) : std::max(scale_up, 1.0));
+  rec.hyperparameters["learning_rate"] = lr;
+  // Warmup grows with the scale-up factor (larger peaks need longer ramps).
+  const std::int64_t warmup =
+      ref.base_warmup_steps +
+      static_cast<std::int64_t>(100.0 * std::log2(std::max(scale_up, 1.0)));
+  rec.hyperparameters["warmup_steps"] = warmup;
+
+  rec.optimizer = ref.optimizer;
+  if (ref.lars_threshold_batch > 0 && global_batch >= ref.lars_threshold_batch &&
+      suite.lars_allowed) {
+    rec.optimizer = "lars";
+    rec.hyperparameters["lars_eta"] = 1e-3;
+  }
+
+  switch (precision) {
+    case numerics::Format::kFP16:
+      rec.loss_scale = 1024.0f;  // static loss scaling for the narrow exponent
+      break;
+    case numerics::Format::kFP8E4M3:
+      rec.loss_scale = 4096.0f;
+      break;
+    default:
+      rec.loss_scale = 1.0f;  // fp32/bf16/ternary: full exponent range
+      break;
+  }
+  return rec;
+}
+
+std::string format_hp_table(const core::SuiteVersion& suite,
+                            const std::vector<std::int64_t>& chip_counts,
+                            numerics::Format precision) {
+  std::ostringstream os;
+  os << "recommended hyperparameters (" << suite.version << ", "
+     << numerics::to_string(precision) << ")\n";
+  os << std::left << std::setw(28) << "benchmark" << std::right << std::setw(8) << "chips"
+     << std::setw(14) << "global batch" << std::setw(12) << "lr" << std::setw(10) << "warmup"
+     << std::setw(14) << "optimizer" << std::setw(12) << "loss scale" << "\n";
+  for (const auto& spec : suite.benchmarks) {
+    for (std::int64_t chips : chip_counts) {
+      const HpRecommendation rec =
+          recommend_hyperparameters(suite, spec.id, chips, precision);
+      os << std::left << std::setw(28) << spec.name << std::right << std::setw(8) << chips
+         << std::setw(14)
+         << core::to_string(rec.hyperparameters.at("global_batch_size")) << std::setw(12)
+         << core::to_string(rec.hyperparameters.at("learning_rate")) << std::setw(10)
+         << core::to_string(rec.hyperparameters.at("warmup_steps")) << std::setw(14)
+         << rec.optimizer << std::setw(12) << rec.loss_scale << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mlperf::harness

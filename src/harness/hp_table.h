@@ -1,0 +1,38 @@
+#pragma once
+
+#include "core/benchmark_spec.h"
+#include "core/division.h"
+#include "numerics/format.h"
+
+namespace mlperf::harness {
+
+/// Paper §6 future-work item, implemented: "Producing a table that maps
+/// system scale and precision to recommended hyperparameters for each
+/// benchmark."
+///
+/// The recommendations encode the rules the paper describes:
+///  * global batch scales with chip count (one shard per chip at the
+///    benchmark's reference per-chip batch);
+///  * learning rate follows the linear-scaling rule relative to the reference
+///    batch (Goyal et al. 2017), with warmup lengthening as the scale-up
+///    factor grows;
+///  * large ResNet batches (>= the LARS threshold) switch the recommended
+///    optimizer to LARS where the round's rules allow it (v0.6);
+///  * reduced-precision training (fp16/fp8) adds a loss-scale
+///    recommendation (Micikevicius et al. 2018); bf16/fp32 need none.
+struct HpRecommendation {
+  core::HyperparameterSet hyperparameters;
+  std::string optimizer;      ///< "sgd_momentum", "adam", or "lars"
+  float loss_scale = 1.0f;    ///< 1.0 = off
+};
+
+HpRecommendation recommend_hyperparameters(const core::SuiteVersion& suite,
+                                           core::BenchmarkId id, std::int64_t chips,
+                                           numerics::Format precision);
+
+/// Render the full table (all benchmarks x given scales) as fixed-width text.
+std::string format_hp_table(const core::SuiteVersion& suite,
+                            const std::vector<std::int64_t>& chip_counts,
+                            numerics::Format precision);
+
+}  // namespace mlperf::harness

@@ -1,0 +1,117 @@
+#include "harness/reference.h"
+
+#include <stdexcept>
+
+#include "models/gnmt.h"
+#include "models/maskrcnn.h"
+#include "models/minigo.h"
+#include "models/ncf.h"
+#include "models/resnet.h"
+#include "models/ssd.h"
+#include "models/transformer.h"
+
+namespace mlperf::harness {
+
+using core::BenchmarkId;
+
+std::unique_ptr<models::Workload> make_reference_workload(BenchmarkId id, WorkloadScale scale) {
+  const bool smoke = scale == WorkloadScale::kSmoke;
+  switch (id) {
+    case BenchmarkId::kImageClassification: {
+      models::ResNetWorkload::Config c;
+      if (smoke) {
+        c.dataset.height = 8;
+        c.dataset.width = 8;
+        c.dataset.num_classes = 4;
+        c.dataset.train_size = 128;
+        c.dataset.val_size = 64;
+        c.dataset.noise = 0.25f;
+        c.model.num_classes = 4;
+        c.model.stage_channels = {6, 8};
+      }
+      return std::make_unique<models::ResNetWorkload>(c);
+    }
+    case BenchmarkId::kObjectDetectionLight: {
+      models::SsdWorkload::Config c;
+      if (smoke) {
+        c.dataset.train_size = 48;
+        c.dataset.val_size = 24;
+      }
+      return std::make_unique<models::SsdWorkload>(c);
+    }
+    case BenchmarkId::kObjectDetectionHeavy: {
+      models::MaskRcnnWorkload::Config c;
+      if (smoke) {
+        c.dataset.train_size = 32;
+        c.dataset.val_size = 16;
+      }
+      return std::make_unique<models::MaskRcnnWorkload>(c);
+    }
+    case BenchmarkId::kTranslationRecurrent: {
+      models::GnmtWorkload::Config c;
+      if (smoke) {
+        c.dataset.vocab = 12;
+        c.dataset.min_len = 3;
+        c.dataset.max_len = 6;
+        c.dataset.train_size = 96;
+        c.dataset.val_size = 32;
+      }
+      return std::make_unique<models::GnmtWorkload>(c);
+    }
+    case BenchmarkId::kTranslationNonRecurrent: {
+      models::TransformerWorkload::Config c;
+      if (smoke) {
+        c.dataset.vocab = 12;
+        c.dataset.min_len = 3;
+        c.dataset.max_len = 6;
+        c.dataset.train_size = 96;
+        c.dataset.val_size = 32;
+      }
+      return std::make_unique<models::TransformerWorkload>(c);
+    }
+    case BenchmarkId::kRecommendation: {
+      models::NcfWorkload::Config c;
+      if (smoke) {
+        c.dataset.num_users = 32;
+        c.dataset.num_items = 64;
+        c.dataset.interactions_per_user = 12;
+        c.dataset.num_eval_negatives = 30;
+      }
+      return std::make_unique<models::NcfWorkload>(c);
+    }
+    case BenchmarkId::kReinforcementLearning: {
+      models::MiniGoWorkload::Config c;
+      if (smoke) {
+        c.mcts.simulations = 8;
+        c.selfplay_games_per_epoch = 1;
+        c.max_game_moves = 20;
+        c.train_batches_per_epoch = 8;
+        c.reference_games = 2;
+        c.reference_teacher_sims = 16;
+        c.reference_moves_per_game = 10;
+      }
+      return std::make_unique<models::MiniGoWorkload>(c);
+    }
+  }
+  throw std::logic_error("make_reference_workload: unknown benchmark");
+}
+
+core::QualityMetric scaled_target(const core::BenchmarkSpec& spec, WorkloadScale scale) {
+  core::QualityMetric q = spec.mini_quality;
+  if (scale == WorkloadScale::kSmoke) {
+    // Smoke workloads are easier but train for far fewer steps; targets are
+    // chosen so a CI-speed run still exercises "train to quality".
+    switch (spec.id) {
+      case BenchmarkId::kImageClassification: q.target = 0.60; break;
+      case BenchmarkId::kObjectDetectionLight: q.target = 0.25; break;
+      case BenchmarkId::kObjectDetectionHeavy: q.target = 0.25; break;
+      case BenchmarkId::kTranslationRecurrent: q.target = 15.0; break;
+      case BenchmarkId::kTranslationNonRecurrent: q.target = 15.0; break;
+      case BenchmarkId::kRecommendation: q.target = 0.50; break;
+      case BenchmarkId::kReinforcementLearning: q.target = 0.15; break;
+    }
+  }
+  return q;
+}
+
+}  // namespace mlperf::harness

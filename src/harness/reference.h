@@ -1,0 +1,25 @@
+#pragma once
+
+#include <memory>
+
+#include "core/benchmark_spec.h"
+#include "models/workload.h"
+
+namespace mlperf::harness {
+
+/// Workload size presets. kReference is the calibrated mini workload that the
+/// Table-1 suite bench runs to its mini quality target; kSmoke is an even
+/// smaller variant for unit/integration tests (converges in ~a second, to a
+/// lower target — use core::BenchmarkSpec::mini_quality only with kReference).
+enum class WorkloadScale { kReference, kSmoke };
+
+/// The reference-implementation registry (paper §3.4): one canonical
+/// workload per Table-1 benchmark.
+std::unique_ptr<models::Workload> make_reference_workload(core::BenchmarkId id,
+                                                          WorkloadScale scale);
+
+/// A quality target appropriate for the scale: the suite's mini target at
+/// kReference; a reduced smoke target at kSmoke.
+core::QualityMetric scaled_target(const core::BenchmarkSpec& spec, WorkloadScale scale);
+
+}  // namespace mlperf::harness

@@ -1,0 +1,85 @@
+#include "harness/run.h"
+
+namespace mlperf::harness {
+
+RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& target,
+                         const RunOptions& options, const core::Clock& clock) {
+  RunOutcome outcome;
+  core::TrainingTimer timer(clock, outcome.log, options.model_creation_cap_ms);
+  core::MlLog& log = outcome.log;
+
+  log.log(clock.now_ms(), core::keys::kSubmissionBenchmark, workload.name());
+  log.log(clock.now_ms(), core::keys::kSeed, static_cast<double>(options.seed));
+  log.log(clock.now_ms(), core::keys::kQualityTarget, target.target,
+          {{"metric", target.name}});
+  log.log(clock.now_ms(), core::keys::kModelSignature, workload.model_signature());
+  log.log(clock.now_ms(), core::keys::kOptimizerName, workload.optimizer_name());
+  log.log(clock.now_ms(), core::keys::kAugmentationSignature,
+          workload.augmentation_signature());
+  for (const auto& [name, value] : workload.hyperparameters())
+    log.log(clock.now_ms(), core::keys::kHyperparameter, value, {{"name", name}});
+  log.log(clock.now_ms(), core::keys::kGlobalBatchSize,
+          static_cast<double>(workload.global_batch_size()));
+
+  // Untimed one-time data reformatting (§3.2.1). The reformat region is the
+  // only place data may be touched before run_start.
+  {
+    auto region = timer.reformat_region();
+    log.log(clock.now_ms(), core::keys::kDataTouch, std::string("reformat"),
+            {{"split", "train+val"}});
+    workload.prepare_data();
+  }
+  // Untimed (capped) model creation / compilation.
+  {
+    auto region = timer.model_creation_region();
+    workload.build_model(options.seed);
+  }
+
+  timer.start_run();
+  for (std::int64_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    log.log(clock.now_ms(), core::keys::kEpochStart, static_cast<double>(epoch));
+    log.log(clock.now_ms(), core::keys::kDataTouch, std::string("train"),
+            {{"split", "train"}});
+    workload.train_epoch();
+    log.log(clock.now_ms(), core::keys::kEpochStop, static_cast<double>(epoch));
+    outcome.epochs = epoch + 1;
+
+    if ((epoch + 1) % options.eval_interval != 0 && epoch + 1 != options.max_epochs)
+      continue;
+    log.log(clock.now_ms(), core::keys::kEvalStart, static_cast<double>(epoch));
+    log.log(clock.now_ms(), core::keys::kDataTouch, std::string("eval"), {{"split", "val"}});
+    const double quality = workload.evaluate();
+    log.log(clock.now_ms(), core::keys::kEvalAccuracy, quality,
+            {{"epoch", std::to_string(epoch)}});
+    outcome.final_quality = quality;
+    // Elapsed timed ms so far (run still open): now - run_start.
+    const double elapsed = clock.now_ms() - outcome.log.find(core::keys::kRunStart)->time_ms;
+    outcome.curve.push_back({epoch + 1, quality, elapsed});
+    if (target.reached(quality)) {
+      outcome.quality_reached = true;
+      break;
+    }
+  }
+  timer.stop_run();
+  log.log(clock.now_ms(), core::keys::kQualityReached, outcome.quality_reached);
+  outcome.time_to_train_ms = timer.time_to_train_ms();
+  outcome.unexcluded_time_ms = timer.unexcluded_time_ms();
+  return outcome;
+}
+
+RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& target,
+                         const RunOptions& options) {
+  core::SteadyClock clock;
+  return run_to_target(workload, target, options, clock);
+}
+
+core::RunResult to_run_result(const RunOutcome& outcome) {
+  core::RunResult r;
+  r.log = outcome.log;
+  r.time_to_train_ms = outcome.time_to_train_ms;
+  r.final_quality = outcome.final_quality;
+  r.quality_reached = outcome.quality_reached;
+  return r;
+}
+
+}  // namespace mlperf::harness

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/quality.h"
+#include "core/submission.h"
+#include "core/timer.h"
+#include "models/workload.h"
+
+namespace mlperf::harness {
+
+/// One (epoch, quality, elapsed-time) sample from a training session; the
+/// series regenerates Figure 3's accuracy-vs-epoch curves.
+struct EpochPoint {
+  std::int64_t epoch = 0;
+  double quality = 0.0;
+  double elapsed_ms = 0.0;  ///< timed milliseconds since run_start
+};
+
+/// Options controlling one timed training session.
+struct RunOptions {
+  std::uint64_t seed = 1;
+  std::int64_t max_epochs = 64;          ///< safety bound; quality should hit first
+  double model_creation_cap_ms = 20.0 * 60.0 * 1000.0;  ///< paper: 20 min
+  /// Evaluate every N epochs (quality is "evaluated at prescribed
+  /// intervals", §4.1). 1 = every epoch.
+  std::int64_t eval_interval = 1;
+};
+
+/// The outcome of one training session.
+struct RunOutcome {
+  bool quality_reached = false;
+  double final_quality = 0.0;
+  std::int64_t epochs = 0;
+  double time_to_train_ms = 0.0;    ///< per the timing rules
+  double unexcluded_time_ms = 0.0;  ///< without the §3.2.1 exclusions
+  std::vector<EpochPoint> curve;
+  core::MlLog log;
+};
+
+/// Run one workload to the quality target under the paper's timing rules:
+/// reformat (untimed) -> model creation (untimed, capped) -> run_start ->
+/// [train_epoch, evaluate]* -> run_stop on quality. Everything is logged.
+RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& target,
+                         const RunOptions& options, const core::Clock& clock);
+
+/// Convenience: wall-clock run.
+RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& target,
+                         const RunOptions& options);
+
+/// Convert a RunOutcome to the submission artifact.
+core::RunResult to_run_result(const RunOutcome& outcome);
+
+/// Run the full §3.2.2 protocol for a workload factory: `n_runs` sessions
+/// differing only by seed; returns per-run outcomes (aggregate with
+/// core::aggregate_runs).
+template <typename MakeWorkload>
+std::vector<RunOutcome> run_protocol(MakeWorkload&& make_workload,
+                                     const core::QualityMetric& target,
+                                     const RunOptions& base_options, std::int64_t n_runs) {
+  std::vector<RunOutcome> outcomes;
+  outcomes.reserve(static_cast<std::size_t>(n_runs));
+  for (std::int64_t r = 0; r < n_runs; ++r) {
+    auto workload = make_workload();
+    RunOptions opts = base_options;
+    opts.seed = base_options.seed + static_cast<std::uint64_t>(r) * 7919;
+    outcomes.push_back(run_to_target(*workload, target, opts));
+  }
+  return outcomes;
+}
+
+}  // namespace mlperf::harness

@@ -1,0 +1,261 @@
+#include "models/gnmt.h"
+
+#include <stdexcept>
+
+#include "metrics/metrics.h"
+#include "nn/functional.h"
+
+namespace mlperf::models {
+
+using autograd::Variable;
+using data::TokenSeq;
+using tensor::Tensor;
+
+GnmtModel::GnmtModel(const Config& config, tensor::Rng& rng)
+    : config_(config), embedding_(config.vocab, config.embed_dim, rng),
+      encoder_(config.embed_dim, config.hidden_dim, config.encoder_layers, rng),
+      decoder_(config.embed_dim + config.hidden_dim, config.hidden_dim,
+               config.decoder_layers, rng),
+      attn_query_(config.hidden_dim, config.attn_dim, rng),
+      attn_key_(config.hidden_dim, config.attn_dim, rng, /*bias=*/false),
+      attn_v_(config.attn_dim, 1, rng, /*bias=*/false),
+      out_hidden_(config.hidden_dim, config.vocab, rng),
+      out_context_(config.hidden_dim, config.vocab, rng, /*bias=*/false) {
+  register_module("embedding", embedding_);
+  register_module("encoder", encoder_);
+  register_module("decoder", decoder_);
+  register_module("attn_query", attn_query_);
+  register_module("attn_key", attn_key_);
+  register_module("attn_v", attn_v_);
+  register_module("out_hidden", out_hidden_);
+  register_module("out_context", out_context_);
+}
+
+Variable GnmtModel::embed_step(const std::vector<std::int64_t>& tokens) {
+  return embedding_.forward(tokens);  // [B, E]
+}
+
+std::vector<Variable> GnmtModel::encode(const std::vector<TokenSeq>& src) {
+  if (src.empty()) throw std::invalid_argument("GnmtModel: empty batch");
+  const std::size_t t_len = src[0].size();
+  std::vector<Variable> xs;
+  xs.reserve(t_len);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    std::vector<std::int64_t> toks;
+    toks.reserve(src.size());
+    for (const auto& s : src) {
+      if (s.size() != t_len)
+        throw std::invalid_argument("GnmtModel: ragged batch (bucket by length)");
+      toks.push_back(s[t]);
+    }
+    xs.push_back(embed_step(toks));
+  }
+  return encoder_.forward(xs).hiddens;
+}
+
+Variable GnmtModel::attend(const Variable& query, const std::vector<Variable>& enc_hiddens) {
+  const std::int64_t b = query.shape()[0];
+  const std::int64_t t_len = static_cast<std::int64_t>(enc_hiddens.size());
+  // scores[t] = v^T tanh(Wq q + Wk h_t), assembled as [T, B] then softmaxed.
+  Variable q_proj = attn_query_.forward(query);  // [B, A]
+  std::vector<Variable> score_rows;
+  score_rows.reserve(static_cast<std::size_t>(t_len));
+  for (const auto& h : enc_hiddens) {
+    Variable s = attn_v_.forward(
+        autograd::tanh_op(autograd::add(q_proj, attn_key_.forward(h))));  // [B, 1]
+    score_rows.push_back(autograd::reshape(s, {1, b}));
+  }
+  Variable scores_tb = autograd::cat0(score_rows);                   // [T, B]
+  Variable alphas = autograd::softmax_last(autograd::permute(scores_tb, {1, 0}));  // [B, T]
+  Variable alphas_tb = autograd::permute(alphas, {1, 0});            // [T, B]
+  Variable context;  // accumulate sum_t alpha_t * h_t
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    Variable a_t = autograd::reshape(autograd::slice0(alphas_tb, t, t + 1), {b, 1});
+    Variable term = autograd::mul(a_t, enc_hiddens[static_cast<std::size_t>(t)]);  // [B, H]
+    context = (t == 0) ? term : autograd::add(context, term);
+  }
+  return context;
+}
+
+namespace {
+/// Concatenate [B, E] and [B, H] along the feature axis via per-row copy
+/// (decoder input feeding needs a real concat, not the split-linear trick,
+/// because the LSTM consumes it as one input).
+Variable concat_features(const Variable& a, const Variable& b) {
+  const std::int64_t n = a.shape()[0], da = a.shape()[1], db = b.shape()[1];
+  if (b.shape()[0] != n) throw std::invalid_argument("concat_features: batch mismatch");
+  Tensor out({n, da + db});
+  for (std::int64_t r = 0; r < n; ++r) {
+    std::copy(a.value().data() + r * da, a.value().data() + (r + 1) * da,
+              out.data() + r * (da + db));
+    std::copy(b.value().data() + r * db, b.value().data() + (r + 1) * db,
+              out.data() + r * (da + db) + da);
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::from_op(std::move(out), {a, b}, [an, bn, n, da, db](const Tensor& g) {
+    if (an->requires_grad) {
+      Tensor ga({n, da});
+      for (std::int64_t r = 0; r < n; ++r)
+        std::copy(g.data() + r * (da + db), g.data() + r * (da + db) + da, ga.data() + r * da);
+      an->accumulate_grad(ga);
+    }
+    if (bn->requires_grad) {
+      Tensor gb({n, db});
+      for (std::int64_t r = 0; r < n; ++r)
+        std::copy(g.data() + r * (da + db) + da, g.data() + (r + 1) * (da + db),
+                  gb.data() + r * db);
+      bn->accumulate_grad(gb);
+    }
+  });
+}
+}  // namespace
+
+Variable GnmtModel::forward_teacher(const std::vector<TokenSeq>& src,
+                                    const std::vector<TokenSeq>& tgt_in) {
+  std::vector<Variable> enc = encode(src);
+  const std::int64_t b = static_cast<std::int64_t>(src.size());
+  auto states = decoder_.zero_states(b);
+  Variable context(Tensor({b, config_.hidden_dim}));
+  std::vector<Variable> step_logits;
+  const std::size_t t_len = tgt_in[0].size();
+  for (std::size_t t = 0; t < t_len; ++t) {
+    std::vector<std::int64_t> toks;
+    toks.reserve(tgt_in.size());
+    for (const auto& s : tgt_in) toks.push_back(s[t]);
+    Variable inp = concat_features(embed_step(toks), context);
+    auto out = decoder_.forward({inp}, states);
+    states = out.final_states;
+    Variable h = out.hiddens[0];
+    context = attend(h, enc);
+    step_logits.push_back(
+        autograd::add(out_hidden_.forward(h), out_context_.forward(context)));  // [B, V]
+  }
+  // Assemble [B*T, V] in batch-major order: row (i*T + t).
+  std::vector<Variable> rows;
+  rows.reserve(step_logits.size());
+  for (auto& l : step_logits) rows.push_back(autograd::reshape(l, {1, b, config_.vocab}));
+  Variable tbv = autograd::cat0(rows);                       // [T, B, V]
+  Variable btv = autograd::permute(tbv, {1, 0, 2});          // [B, T, V]
+  return autograd::reshape(btv, {b * static_cast<std::int64_t>(t_len), config_.vocab});
+}
+
+std::vector<TokenSeq> GnmtModel::greedy_translate(const std::vector<TokenSeq>& src,
+                                                  std::int64_t max_len) {
+  std::vector<Variable> enc = encode(src);
+  const std::int64_t b = static_cast<std::int64_t>(src.size());
+  auto states = decoder_.zero_states(b);
+  Variable context(Tensor({b, config_.hidden_dim}));
+  std::vector<std::int64_t> current(static_cast<std::size_t>(b), data::kBos);
+  std::vector<TokenSeq> out(static_cast<std::size_t>(b));
+  std::vector<bool> done(static_cast<std::size_t>(b), false);
+  for (std::int64_t step = 0; step < max_len; ++step) {
+    Variable inp = concat_features(embed_step(current), context);
+    auto dec = decoder_.forward({inp}, states);
+    states = dec.final_states;
+    Variable h = dec.hiddens[0];
+    context = attend(h, enc);
+    Variable logits = autograd::add(out_hidden_.forward(h), out_context_.forward(context));
+    bool all_done = true;
+    for (std::int64_t i = 0; i < b; ++i) {
+      if (done[static_cast<std::size_t>(i)]) continue;
+      const float* row = logits.value().data() + i * config_.vocab;
+      std::int64_t best = 0;
+      for (std::int64_t v = 1; v < config_.vocab; ++v)
+        if (row[v] > row[best]) best = v;
+      current[static_cast<std::size_t>(i)] = best;
+      if (best == data::kEos) {
+        done[static_cast<std::size_t>(i)] = true;
+      } else {
+        out[static_cast<std::size_t>(i)].push_back(best);
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+  }
+  return out;
+}
+
+GnmtWorkload::GnmtWorkload(Config config) : config_(std::move(config)), rng_(1) {
+  config_.model.vocab = config_.dataset.vocab + data::kFirstWord;
+}
+
+void GnmtWorkload::prepare_data() {
+  dataset_ = std::make_unique<data::SyntheticTranslationDataset>(config_.dataset);
+  length_buckets_.assign(static_cast<std::size_t>(config_.dataset.max_len + 1), {});
+  for (std::int64_t i = 0; i < dataset_->train_size(); ++i)
+    length_buckets_[dataset_->train(i).source.size()].push_back(i);
+}
+
+void GnmtWorkload::build_model(std::uint64_t seed) {
+  rng_ = tensor::Rng(seed);
+  tensor::Rng init_rng = rng_.split();
+  model_ = std::make_unique<GnmtModel>(config_.model, init_rng);
+  optimizer_ = std::make_unique<optim::Adam>(model_->parameters());
+}
+
+void GnmtWorkload::train_epoch() {
+  if (!dataset_ || !model_) throw std::logic_error("GnmtWorkload: not prepared");
+  std::vector<std::pair<std::size_t, std::size_t>> batches;
+  for (std::size_t bkt = 0; bkt < length_buckets_.size(); ++bkt) {
+    rng_.shuffle(length_buckets_[bkt]);
+    for (std::size_t off = 0; off < length_buckets_[bkt].size();
+         off += static_cast<std::size_t>(config_.batch_size))
+      batches.emplace_back(bkt, off);
+  }
+  rng_.shuffle(batches);
+  for (const auto& [bkt, off] : batches) {
+    const auto& bucket = length_buckets_[bkt];
+    const std::size_t end =
+        std::min(off + static_cast<std::size_t>(config_.batch_size), bucket.size());
+    std::vector<TokenSeq> src, tgt_in;
+    std::vector<std::int64_t> targets;
+    for (std::size_t k = off; k < end; ++k) {
+      const auto& pair = dataset_->train(bucket[k]);
+      src.push_back(pair.source);
+      TokenSeq in{data::kBos};
+      in.insert(in.end(), pair.target.begin(), pair.target.end());
+      tgt_in.push_back(std::move(in));
+      for (std::int64_t tok : pair.target) targets.push_back(tok);
+      targets.push_back(data::kEos);
+    }
+    Variable logits = model_->forward_teacher(src, tgt_in);
+    Variable loss = nn::cross_entropy(logits, targets);
+    optimizer_->zero_grad();
+    loss.backward();
+    optim::clip_grad_norm(optimizer_->params(), config_.grad_clip_norm);
+    optimizer_->step(config_.lr);
+  }
+}
+
+double GnmtWorkload::evaluate() {
+  if (!dataset_ || !model_) throw std::logic_error("GnmtWorkload: not prepared");
+  std::vector<TokenSeq> hyps, refs;
+  std::vector<std::vector<std::int64_t>> buckets(
+      static_cast<std::size_t>(config_.dataset.max_len + 1));
+  for (std::int64_t i = 0; i < dataset_->val_size(); ++i)
+    buckets[dataset_->val(i).source.size()].push_back(i);
+  for (const auto& bucket : buckets) {
+    for (std::size_t off = 0; off < bucket.size();
+         off += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t end =
+          std::min(off + static_cast<std::size_t>(config_.batch_size), bucket.size());
+      std::vector<TokenSeq> src;
+      for (std::size_t k = off; k < end; ++k) src.push_back(dataset_->val(bucket[k]).source);
+      std::vector<TokenSeq> out = model_->greedy_translate(src, config_.dataset.max_len + 2);
+      for (std::size_t k = off; k < end; ++k) {
+        refs.push_back(dataset_->val(bucket[k]).target);
+        hyps.push_back(out[k - off]);
+      }
+    }
+  }
+  return metrics::bleu(hyps, refs);
+}
+
+std::map<std::string, double> GnmtWorkload::hyperparameters() const {
+  return {{"global_batch_size", static_cast<double>(config_.batch_size)},
+          {"learning_rate", config_.lr},
+          {"grad_clip_norm", config_.grad_clip_norm}};
+}
+
+}  // namespace mlperf::models

@@ -1,0 +1,91 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace mlperf::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D4C5057;  // "MLPW"
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("load_weights: truncated file");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  if (n > (1u << 20)) throw std::runtime_error("load_weights: implausible name length");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("load_weights: truncated file");
+  return s;
+}
+
+}  // namespace
+
+void save_weights(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  std::uint32_t magic = kMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const auto named = module.named_parameters();
+  write_u64(out, named.size());
+  for (const auto& [name, param] : named) {
+    write_string(out, name);
+    const auto& shape = param.shape();
+    write_u64(out, shape.size());
+    for (auto d : shape) write_u64(out, static_cast<std::uint64_t>(d));
+    out.write(reinterpret_cast<const char*>(param.value().data()),
+              static_cast<std::streamsize>(param.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+}
+
+void load_weights(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) throw std::runtime_error("load_weights: bad magic in " + path);
+
+  std::map<std::string, autograd::Variable> params;
+  for (auto& [name, param] : module.named_parameters()) params.emplace(name, param);
+
+  const std::uint64_t count = read_u64(in);
+  if (count != params.size())
+    throw std::runtime_error("load_weights: parameter count mismatch (file " +
+                             std::to_string(count) + ", module " +
+                             std::to_string(params.size()) + ")");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = read_string(in);
+    const auto it = params.find(name);
+    if (it == params.end())
+      throw std::runtime_error("load_weights: unknown parameter '" + name + "'");
+    const std::uint64_t rank = read_u64(in);
+    tensor::Shape shape(rank);
+    for (auto& d : shape) d = static_cast<std::int64_t>(read_u64(in));
+    if (shape != it->second.shape())
+      throw std::runtime_error("load_weights: shape mismatch for '" + name + "'");
+    tensor::Tensor& value = it->second.mutable_value();
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(value.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_weights: truncated data for '" + name + "'");
+  }
+}
+
+}  // namespace mlperf::nn

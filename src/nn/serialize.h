@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace mlperf::nn {
+
+/// Binary weight checkpointing.
+///
+/// Submissions must be reproducible from artifacts (§4.1); checkpoints let a
+/// trained reference model (e.g. a MiniGo teacher) be saved once and reused.
+/// Format: magic, parameter count, then per parameter the registry name, the
+/// shape, and raw float32 data. Loading matches strictly by name AND shape —
+/// a mismatch means the architecture changed, which is an error, not
+/// something to paper over.
+void save_weights(const Module& module, const std::string& path);
+
+/// Load weights saved by save_weights into an identically-structured module.
+/// Throws std::runtime_error on I/O failure, unknown/missing parameters, or
+/// shape mismatches.
+void load_weights(Module& module, const std::string& path);
+
+}  // namespace mlperf::nn

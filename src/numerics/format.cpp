@@ -1,0 +1,171 @@
+#include "numerics/format.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace mlperf::numerics {
+
+std::string to_string(Format f) {
+  switch (f) {
+    case Format::kFP32: return "fp32";
+    case Format::kFP16: return "fp16";
+    case Format::kBF16: return "bf16";
+    case Format::kFP8E4M3: return "fp8_e4m3";
+    case Format::kTernary: return "ternary";
+  }
+  throw std::logic_error("unknown Format");
+}
+
+std::uint16_t float_to_half_bits(float v) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(v);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mant = x & 0x7FFFFFu;
+  if (((x >> 23) & 0xFF) == 0xFF) {  // inf / nan
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  if (exp >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return static_cast<std::uint16_t>(sign);
+    mant |= 0x800000u;  // implicit leading 1
+    const int shift = 14 - exp;
+    std::uint32_t half_mant = mant >> shift;
+    // round to nearest even
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  // normal: round mantissa from 23 to 10 bits, nearest-even
+  std::uint32_t half = sign | (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // may carry into exp: fine
+  return static_cast<std::uint16_t>(half);
+}
+
+float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;
+    } else {  // subnormal: normalize
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while (!(mant & 0x400u));
+      mant &= 0x3FFu;
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1F) {
+    out = sign | 0x7F800000u | (mant << 13);
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+std::uint16_t float_to_bf16_bits(float v) {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(v);
+  if (((x >> 23) & 0xFF) == 0xFF) return static_cast<std::uint16_t>(x >> 16);  // inf/nan
+  // round-to-nearest-even on the low 16 bits
+  const std::uint32_t rounding = 0x7FFFu + ((x >> 16) & 1u);
+  x += rounding;
+  return static_cast<std::uint16_t>(x >> 16);
+}
+
+float bf16_bits_to_float(std::uint16_t b) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+}
+
+std::uint8_t float_to_fp8_e4m3_bits(float v) {
+  // E4M3 (OCP variant): bias 7, max normal 448, no inf; we saturate.
+  if (std::isnan(v)) return 0x7Fu;
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(v);
+  const std::uint8_t sign = static_cast<std::uint8_t>((x >> 24) & 0x80u);
+  float a = std::fabs(v);
+  if (a >= 448.0f) return static_cast<std::uint8_t>(sign | 0x7Eu);  // saturate to 448
+  if (a == 0.0f) return sign;
+  int e;
+  float m = std::frexp(a, &e);  // a = m * 2^e, m in [0.5, 1)
+  // Convert to 1.mmm * 2^(e-1) representation.
+  int exp = e - 1;
+  float frac = m * 2.0f;  // in [1, 2)
+  if (exp < -6) {  // subnormal range: quantize with fixed step 2^-9
+    const float step = std::ldexp(1.0f, -9);
+    float q = std::nearbyint(a / step);
+    if (q == 0.0f) return sign;
+    if (q > 7.0f) {  // rounds into normal range
+      q = 8.0f;
+    }
+    const std::uint8_t mant = static_cast<std::uint8_t>(q == 8.0f ? 0 : static_cast<int>(q));
+    const std::uint8_t ebits = q == 8.0f ? 1 : 0;
+    return static_cast<std::uint8_t>(sign | (ebits << 3) | mant);
+  }
+  // normal: round mantissa to 3 bits
+  float mq = std::nearbyint((frac - 1.0f) * 8.0f);
+  if (mq == 8.0f) {
+    mq = 0.0f;
+    ++exp;
+    if (exp > 8) return static_cast<std::uint8_t>(sign | 0x7Eu);
+  }
+  const std::uint8_t ebits = static_cast<std::uint8_t>(exp + 7);
+  return static_cast<std::uint8_t>(sign | (ebits << 3) | static_cast<std::uint8_t>(mq));
+}
+
+float fp8_e4m3_bits_to_float(std::uint8_t b) {
+  const float sign = (b & 0x80u) ? -1.0f : 1.0f;
+  const int ebits = (b >> 3) & 0xF;
+  const int mant = b & 0x7;
+  if (ebits == 0xF && mant == 0x7) return std::numeric_limits<float>::quiet_NaN();
+  if (ebits == 0) return sign * static_cast<float>(mant) * std::ldexp(1.0f, -9);
+  return sign * (1.0f + static_cast<float>(mant) / 8.0f) * std::ldexp(1.0f, ebits - 7);
+}
+
+float quantize_value(float v, Format f) {
+  switch (f) {
+    case Format::kFP32: return v;
+    case Format::kFP16: return half_bits_to_float(float_to_half_bits(v));
+    case Format::kBF16: return bf16_bits_to_float(float_to_bf16_bits(v));
+    case Format::kFP8E4M3: return fp8_e4m3_bits_to_float(float_to_fp8_e4m3_bits(v));
+    case Format::kTernary: return v;  // per-tensor; handled in quantize_tensor
+  }
+  throw std::logic_error("unknown Format");
+}
+
+tensor::Tensor quantize_tensor(const tensor::Tensor& t, Format f) {
+  if (f == Format::kFP32) return t;
+  if (f == Format::kTernary) {
+    double sum_abs = 0.0;
+    for (float v : t.vec()) sum_abs += std::fabs(v);
+    const float mean_abs =
+        t.numel() > 0 ? static_cast<float>(sum_abs / static_cast<double>(t.numel())) : 0.0f;
+    const float delta = 0.7f * mean_abs;
+    double scale_sum = 0.0;
+    std::int64_t scale_n = 0;
+    for (float v : t.vec()) {
+      if (std::fabs(v) > delta) {
+        scale_sum += std::fabs(v);
+        ++scale_n;
+      }
+    }
+    const float scale =
+        scale_n > 0 ? static_cast<float>(scale_sum / static_cast<double>(scale_n)) : 0.0f;
+    return t.map([delta, scale](float v) {
+      if (v > delta) return scale;
+      if (v < -delta) return -scale;
+      return 0.0f;
+    });
+  }
+  return t.map([f](float v) { return quantize_value(v, f); });
+}
+
+}  // namespace mlperf::numerics

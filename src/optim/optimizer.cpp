@@ -1,0 +1,147 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mlperf::optim {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+StepDecayLr::StepDecayLr(float base, float gamma, std::int64_t step_size)
+    : base_(base), gamma_(gamma), step_size_(step_size) {
+  if (step_size <= 0) throw std::invalid_argument("StepDecayLr: step_size must be > 0");
+}
+
+float StepDecayLr::lr(std::int64_t step) const {
+  return base_ * std::pow(gamma_, static_cast<float>(step / step_size_));
+}
+
+LinearScalingWarmupLr::LinearScalingWarmupLr(float base_lr, std::int64_t batch,
+                                             std::int64_t base_batch, std::int64_t warmup_steps,
+                                             float gamma, std::int64_t decay_step_size)
+    : peak_(base_lr * static_cast<float>(batch) / static_cast<float>(base_batch)),
+      warmup_steps_(warmup_steps), gamma_(gamma), decay_step_size_(decay_step_size) {
+  if (base_batch <= 0 || decay_step_size <= 0)
+    throw std::invalid_argument("LinearScalingWarmupLr: bad arguments");
+}
+
+float LinearScalingWarmupLr::lr(std::int64_t step) const {
+  if (step < warmup_steps_)
+    return peak_ * static_cast<float>(step + 1) / static_cast<float>(warmup_steps_);
+  const std::int64_t after = step - warmup_steps_;
+  return peak_ * std::pow(gamma_, static_cast<float>(after / decay_step_size_));
+}
+
+CosineLr::CosineLr(float base, std::int64_t total_steps)
+    : base_(base), total_steps_(total_steps) {
+  if (total_steps <= 0) throw std::invalid_argument("CosineLr: total_steps must be > 0");
+}
+
+float CosineLr::lr(std::int64_t step) const {
+  const float t = std::min(1.0f, static_cast<float>(step) / static_cast<float>(total_steps_));
+  return 0.5f * base_ * (1.0f + std::cos(static_cast<float>(std::numbers::pi) * t));
+}
+
+SgdMomentum::SgdMomentum(std::vector<Variable> params, float momentum, float weight_decay,
+                         MomentumSemantics semantics)
+    : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay),
+      semantics_(semantics) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.shape());
+}
+
+void SgdMomentum::step(float lr) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    Tensor& w = p.mutable_value();
+    const Tensor& g = p.grad();
+    Tensor& v = velocity_[i];
+    const std::int64_t n = w.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      if (semantics_ == MomentumSemantics::kLrInsideMomentum) {
+        v[j] = momentum_ * v[j] + lr * grad;  // Eq. 1
+        w[j] -= v[j];
+      } else {
+        v[j] = momentum_ * v[j] + grad;       // Eq. 2
+        w[j] -= lr * v[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float beta1, float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.shape());
+    v_.emplace_back(p.shape());
+  }
+}
+
+void Adam::step(float lr) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    Tensor& w = p.mutable_value();
+    const Tensor& g = p.grad();
+    const std::int64_t n = w.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * grad;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      w[j] -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+Lars::Lars(std::vector<Variable> params, float momentum, float weight_decay, float eta)
+    : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay), eta_(eta) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.shape());
+}
+
+void Lars::step(float lr) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    Tensor& w = p.mutable_value();
+    const Tensor& g = p.grad();
+    const float w_norm = std::sqrt(w.l2_norm_sq());
+    const float g_norm = std::sqrt(g.l2_norm_sq());
+    float trust = 1.0f;
+    if (w_norm > 0.0f && g_norm > 0.0f)
+      trust = eta_ * w_norm / (g_norm + weight_decay_ * w_norm);
+    const std::int64_t n = w.numel();
+    Tensor& v = velocity_[i];
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + trust * lr * grad;
+      w[j] -= v[j];
+    }
+  }
+}
+
+float clip_grad_norm(const std::vector<Variable>& params, float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) total += p.grad().l2_norm_sq();
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const auto& p : params) {
+      // Grad tensors are mutated in place through the node.
+      Tensor& g = p.node()->grad;
+      for (std::int64_t j = 0; j < g.numel(); ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace mlperf::optim

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace mlperf::optim {
+
+/// Learning-rate schedule: maps a global step index to a learning rate.
+/// Schedules are first-class because the paper's §2.2.4 point — the two SGD
+/// momentum semantics only diverge when the LR *changes* during training —
+/// and the §3.4 hyperparameter rules (linear-scaling + warmup for large
+/// minibatches, per Goyal et al. 2017) both hinge on them.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr(std::int64_t step) const = 0;
+};
+
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr(std::int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// lr = base * gamma^(step / step_size) — classic staircase decay.
+class StepDecayLr final : public LrSchedule {
+ public:
+  StepDecayLr(float base, float gamma, std::int64_t step_size);
+  float lr(std::int64_t step) const override;
+
+ private:
+  float base_;
+  float gamma_;
+  std::int64_t step_size_;
+};
+
+/// Goyal-style large-batch schedule: linear warmup from ~0 to
+/// base * (batch / base_batch) over `warmup_steps`, then staircase decay.
+class LinearScalingWarmupLr final : public LrSchedule {
+ public:
+  LinearScalingWarmupLr(float base_lr, std::int64_t batch, std::int64_t base_batch,
+                        std::int64_t warmup_steps, float gamma, std::int64_t decay_step_size);
+  float lr(std::int64_t step) const override;
+  float peak_lr() const { return peak_; }
+
+ private:
+  float peak_;
+  std::int64_t warmup_steps_;
+  float gamma_;
+  std::int64_t decay_step_size_;
+};
+
+/// Half-cosine from base to ~0 over `total_steps`.
+class CosineLr final : public LrSchedule {
+ public:
+  CosineLr(float base, std::int64_t total_steps);
+  float lr(std::int64_t step) const override;
+
+ private:
+  float base_;
+  std::int64_t total_steps_;
+};
+
+/// Optimizer over a fixed parameter list. step(lr) consumes the gradients
+/// currently stored on the parameters; callers zero_grad() between batches.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step(float lr) = 0;
+
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+};
+
+/// The two SGD+momentum semantics the paper contrasts (§2.2.4):
+///   Eq. 1 (Caffe):      m = a*m + lr*g;  w -= m
+///   Eq. 2 (PyTorch/TF): m = a*m + g;     w -= lr*m
+/// Identical under constant LR; they diverge when the LR decays mid-training,
+/// which bench/ablation_momentum demonstrates.
+enum class MomentumSemantics { kLrInsideMomentum /*Eq.1*/, kLrOutsideMomentum /*Eq.2*/ };
+
+class SgdMomentum final : public Optimizer {
+ public:
+  SgdMomentum(std::vector<autograd::Variable> params, float momentum = 0.9f,
+              float weight_decay = 0.0f,
+              MomentumSemantics semantics = MomentumSemantics::kLrOutsideMomentum);
+
+  void step(float lr) override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  MomentumSemantics semantics_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step(float lr) override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_, v_;
+};
+
+/// LARS (You et al. 2017): layer-wise adaptive rate scaling, the optimizer
+/// MLPerf v0.6 allowed for large-batch ResNet (paper §5/§6). Per layer:
+///   trust = eta * ||w|| / (||g|| + wd * ||w||)
+///   m = mu * m + trust * lr * (g + wd * w);  w -= m
+class Lars final : public Optimizer {
+ public:
+  Lars(std::vector<autograd::Variable> params, float momentum = 0.9f,
+       float weight_decay = 1e-4f, float eta = 0.001f);
+
+  void step(float lr) override;
+
+ private:
+  float momentum_, weight_decay_, eta_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Global-norm gradient clipping (used by GNMT reference); returns the norm.
+float clip_grad_norm(const std::vector<autograd::Variable>& params, float max_norm);
+
+}  // namespace mlperf::optim

@@ -1,0 +1,137 @@
+#include "sysim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlperf::sysim {
+
+double Interconnect::allreduce_seconds(double bytes, std::int64_t n) const {
+  if (n <= 1) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double lat = latency_us * 1e-6;
+  const double bw = bandwidth_gbps * 1e9;
+  switch (topology) {
+    case Topology::kRing:
+      // Ring all-reduce: 2(n-1) steps, 2(n-1)/n of the data over each link.
+      return 2.0 * (nd - 1.0) * lat + 2.0 * (nd - 1.0) / nd * bytes / bw;
+    case Topology::kTree:
+      // Pipelined tree/hierarchical all-reduce: O(log n) latency hops but
+      // near-ring bandwidth cost.
+      return 2.0 * std::log2(nd) * lat + 2.0 * bytes / bw;
+  }
+  throw std::logic_error("unknown topology");
+}
+
+double WorkloadProfile::epochs_at_batch(double global_batch) const {
+  return base_epochs * (1.0 + std::pow(global_batch / b_star, gamma));
+}
+
+SimResult simulate(const WorkloadProfile& w, const ClusterConfig& c, bool apply_target_raise) {
+  SimResult r;
+  r.global_batch = static_cast<double>(c.num_chips) * static_cast<double>(c.per_chip_batch);
+  const double ceiling = w.max_batch * c.stack.batch_ceiling_multiplier;
+  r.converges = r.global_batch <= ceiling;
+  r.epochs = w.epochs_at_batch(r.global_batch);
+  if (apply_target_raise) r.epochs *= w.target_raise_epoch_factor;
+  r.steps_per_epoch = std::ceil(w.dataset_samples / r.global_batch);
+  const double compute =
+      std::max(w.flops_per_sample * static_cast<double>(c.per_chip_batch) /
+                   (c.chip.tflops * 1e12 * c.stack.compute_efficiency),
+               c.chip.step_floor_s);
+  Interconnect net = c.net;
+  if (c.stack.hierarchical_allreduce) net.topology = Interconnect::Topology::kTree;
+  const double comm =
+      net.allreduce_seconds(w.model_bytes, c.num_chips) * (1.0 - c.stack.comm_overlap);
+  r.step_seconds = compute + comm;
+  r.time_to_train_s = r.epochs * r.steps_per_epoch * r.step_seconds;
+  return r;
+}
+
+SimResult best_batch(const WorkloadProfile& w, ClusterConfig c, bool apply_target_raise) {
+  SimResult best;
+  best.time_to_train_s = 1e300;
+  best.converges = false;
+  const double mem_bytes = c.chip.mem_gb * 1e9;
+  for (std::int64_t b = 1; b <= 4096; b *= 2) {
+    if (static_cast<double>(b) * w.bytes_per_sample > 0.8 * mem_bytes) break;
+    c.per_chip_batch = b;
+    const SimResult r = simulate(w, c, apply_target_raise);
+    if (r.converges && r.time_to_train_s < best.time_to_train_s) best = r;
+  }
+  if (!best.converges)
+    throw std::invalid_argument("best_batch: no convergent batch for " + w.name);
+  return best;
+}
+
+ScaleResult fastest_scale(const WorkloadProfile& w, ClusterConfig base, std::int64_t max_chips,
+                          bool apply_target_raise) {
+  ScaleResult best;
+  best.result.time_to_train_s = 1e300;
+  for (std::int64_t n = 1; n <= max_chips; n *= 2) {
+    base.num_chips = n;
+    SimResult r;
+    try {
+      r = best_batch(w, base, apply_target_raise);
+    } catch (const std::invalid_argument&) {
+      continue;  // no convergent batch at this scale
+    }
+    if (r.time_to_train_s < best.result.time_to_train_s) {
+      best.chips = n;
+      best.result = r;
+    }
+  }
+  if (best.chips == 0) throw std::logic_error("fastest_scale: nothing converges");
+  return best;
+}
+
+// ---- calibrated profiles ----------------------------------------------------
+// Compute/communication constants use public model characteristics (params,
+// training FLOPs, dataset sizes). Convergence constants (b_star, gamma) for
+// ResNet are fit to the paper's own §2.2.2 data points — 64 epochs at 4K
+// batch, ~83 epochs at 16K (a 30% computation increase) — giving
+// b_star ~ 34K, gamma ~ 1.27; other workloads use the same functional form
+// with ceilings reflecting published large-batch limits.
+
+ChipProfile accelerator_2019() { return {"accel-2019", 100.0, 16.0}; }
+
+Interconnect cluster_interconnect() {
+  return {"hybrid-mesh", 5.0, 60.0, Interconnect::Topology::kRing};
+}
+
+SoftwareStack stack_v05() { return {"v0.5", 0.40, 0.30, false, 1.0, false}; }
+
+SoftwareStack stack_v06() {
+  // Six months of stack work (§5): better kernels/graph compilation, more
+  // aggressive compute/communication overlap, hierarchical all-reduce, LARS
+  // permitted, and large-batch training advances raising batch ceilings.
+  return {"v0.6", 0.52, 0.60, true, 2.0, true};
+}
+
+std::vector<WorkloadProfile> comparable_workloads() {
+  std::vector<WorkloadProfile> w;
+  // name, flops/sample, grad bytes, dataset, base_epochs, b_star, gamma,
+  // max_batch, bytes/sample, target_raise_factor
+  w.push_back({"image_classification", 12e9, 102e6, 1.281e6, 60.0, 34000.0, 1.27,
+               8192.0, 6e5, 1.12});   // 74.9% -> 75.9% target raise
+  w.push_back({"object_detection_light", 90e9, 80e6, 1.18e5, 50.0, 2500.0, 1.4,
+               1024.0, 4e6, 1.08});   // SSD; 21.2 -> 23.0 mAP
+  w.push_back({"object_detection_heavy", 300e9, 180e6, 1.18e5, 13.0, 400.0, 1.5,
+               128.0, 2e7, 1.0});     // Mask R-CNN (unchanged targets)
+  w.push_back({"translation_recurrent", 20e9, 260e6, 4.5e6, 5.0, 2000.0, 1.3,
+               1024.0, 2e6, 1.10});   // GNMT; 21.8 -> 24.0 BLEU
+  w.push_back({"translation_nonrecurrent", 30e9, 850e6, 4.5e6, 8.0, 3000.0, 1.2,
+               2048.0, 3e6, 1.0});    // Transformer (unchanged target)
+  return w;
+}
+
+WorkloadProfile apply_round(const WorkloadProfile& w, const SoftwareStack& stack) {
+  WorkloadProfile out = w;
+  if (stack.lars_available && w.name == "image_classification") {
+    // LARS (You et al. 2017) specifically unlocked 32K+ ResNet batches.
+    out.max_batch *= 8.0;
+  }
+  return out;
+}
+
+}  // namespace mlperf::sysim

@@ -1,0 +1,95 @@
+#include "sysim/data_parallel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlperf::sysim {
+
+using tensor::Tensor;
+
+Tensor GradientAllReduce::reduce(const std::vector<const Tensor*>& worker_grads) const {
+  if (worker_grads.empty()) throw std::invalid_argument("GradientAllReduce: no workers");
+  const std::size_t n = worker_grads.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (order_ == ReductionOrder::kPermuted) rng_->shuffle(order);
+
+  Tensor out(worker_grads[0]->shape());
+  for (std::size_t w : order) {
+    const Tensor& g = *worker_grads[w];
+    if (!g.same_shape(out)) throw std::invalid_argument("GradientAllReduce: shape mismatch");
+    float* dst = out.data();
+    const float* src = g.data();
+    const std::int64_t numel = out.numel();
+    for (std::int64_t i = 0; i < numel; ++i) dst[i] += src[i];
+  }
+  const float inv = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] *= inv;
+  return out;
+}
+
+double DataParallelStep::gradient_bytes(const std::vector<autograd::Variable>& params) {
+  double bytes = 0.0;
+  for (const auto& p : params) bytes += static_cast<double>(p.numel()) * sizeof(float);
+  return bytes;
+}
+
+double DataParallelStep::step(std::int64_t global_batch, const ShardGradFn& shard_fn,
+                              const std::vector<autograd::Variable>& params,
+                              core::ManualClock* clock) const {
+  const std::int64_t workers = config_.num_workers;
+  if (workers <= 0) throw std::invalid_argument("DataParallelStep: need >= 1 worker");
+  if (global_batch < workers)
+    throw std::invalid_argument("DataParallelStep: global batch smaller than worker count");
+
+  // 1) Per-worker gradient computation over contiguous shards.
+  std::vector<std::vector<Tensor>> worker_grads;
+  worker_grads.reserve(static_cast<std::size_t>(workers));
+  std::int64_t largest_shard = 0;
+  for (std::int64_t w = 0; w < workers; ++w) {
+    const std::int64_t begin = w * global_batch / workers;
+    const std::int64_t end = (w + 1) * global_batch / workers;
+    largest_shard = std::max(largest_shard, end - begin);
+    worker_grads.push_back(shard_fn(begin, end));
+    if (worker_grads.back().size() != params.size())
+      throw std::invalid_argument("DataParallelStep: shard_fn returned wrong tensor count");
+  }
+
+  // 2) All-reduce each parameter's gradients; the per-example sums become a
+  //    per-example mean over the GLOBAL batch:
+  //    mean = sum_w shard_sum_w / B = (1/W) sum_w (shard_sum_w * W / B).
+  GradientAllReduce reducer(config_.reduction_order, *rng_);
+  const float shard_to_mean =
+      static_cast<float>(workers) / static_cast<float>(global_batch);
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    std::vector<const Tensor*> grads;
+    grads.reserve(static_cast<std::size_t>(workers));
+    for (std::int64_t w = 0; w < workers; ++w)
+      grads.push_back(&worker_grads[static_cast<std::size_t>(w)][p]);
+    Tensor averaged = reducer.reduce(grads);
+    for (std::int64_t i = 0; i < averaged.numel(); ++i) averaged[i] *= shard_to_mean;
+    autograd::Variable param = params[p];  // cheap shared handle
+    param.zero_grad();
+    param.node()->accumulate_grad(averaged);
+  }
+
+  // 3) Virtual clock: synchronous step time = slowest worker compute +
+  //    unhidden all-reduce.
+  double step_seconds = 0.0;
+  if (config_.chip && config_.stack && config_.interconnect &&
+      config_.flops_per_sample > 0.0) {
+    const double compute = std::max(
+        config_.flops_per_sample * static_cast<double>(largest_shard) /
+            (config_.chip->tflops * 1e12 * config_.stack->compute_efficiency),
+        config_.chip->step_floor_s);
+    Interconnect net = *config_.interconnect;
+    if (config_.stack->hierarchical_allreduce) net.topology = Interconnect::Topology::kTree;
+    const double comm = net.allreduce_seconds(gradient_bytes(params), workers) *
+                        (1.0 - config_.stack->comm_overlap);
+    step_seconds = compute + comm;
+    if (clock) clock->advance_ms(step_seconds * 1e3);
+  }
+  return step_seconds;
+}
+
+}  // namespace mlperf::sysim

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/timer.h"
+#include "sysim/cluster.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace mlperf::sysim {
+
+/// How the all-reduce combines per-worker gradient contributions.
+///
+/// Floating-point addition is not associative, so the reduction ORDER changes
+/// the result in the last bits — one of the §2.2.3 run-to-run variance
+/// sources ("non-commutativity of floating point additions", and asynchronous
+/// updates "leading to different gradient accumulation orders"). kFixed uses
+/// worker order every step; kPermuted draws a fresh order per step from the
+/// provided Rng, emulating timing-dependent arrival order.
+enum class ReductionOrder { kFixed, kPermuted };
+
+/// Gradient all-reduce over real per-worker gradient tensors.
+///
+/// Functionally: out = sum_w grads[w] / num_workers, accumulated in the
+/// selected order in float32 (so the order leaves a numerical fingerprint).
+/// The companion cost model (Interconnect::allreduce_seconds) prices the
+/// operation for the virtual clock.
+class GradientAllReduce {
+ public:
+  GradientAllReduce(ReductionOrder order, tensor::Rng& rng) : order_(order), rng_(&rng) {}
+
+  /// Average gradients across workers, in-place into grads[0]'s shape.
+  /// All workers' tensors must share one shape.
+  tensor::Tensor reduce(const std::vector<const tensor::Tensor*>& worker_grads) const;
+
+ private:
+  ReductionOrder order_;
+  tensor::Rng* rng_;
+};
+
+/// A real synchronous data-parallel training step over an arbitrary model.
+///
+/// The trainer does not know the model's internals; the caller supplies a
+/// `ShardGradFn` that, given a shard of the global batch (by index range),
+/// computes that shard's gradients for every parameter (summed over shard
+/// examples, NOT averaged — the trainer does the global averaging, exactly
+/// like per-replica loss-sum + all-reduce-mean in real frameworks).
+///
+/// After the reduce, the averaged gradients are installed on the parameters
+/// and the caller runs its optimizer step. A virtual clock is advanced by the
+/// modeled step time: max over workers of compute time plus the all-reduce
+/// cost (synchronous SGD — stragglers gate the step).
+class DataParallelStep {
+ public:
+  struct Config {
+    std::int64_t num_workers = 4;
+    ReductionOrder reduction_order = ReductionOrder::kFixed;
+    /// Cost model for the virtual clock (optional; nullptrs skip timing).
+    const Interconnect* interconnect = nullptr;
+    const ChipProfile* chip = nullptr;
+    const SoftwareStack* stack = nullptr;
+    double flops_per_sample = 0.0;
+  };
+
+  /// Computes gradients for global-batch indices [begin, end) and returns
+  /// one gradient tensor per parameter (same order as `params`).
+  using ShardGradFn =
+      std::function<std::vector<tensor::Tensor>(std::int64_t begin, std::int64_t end)>;
+
+  DataParallelStep(Config config, tensor::Rng& rng) : config_(config), rng_(&rng) {}
+
+  /// Run one synchronous step over a global batch of `global_batch` examples:
+  /// shards it contiguously across workers, reduces, installs averaged
+  /// gradients into `params`' grad slots, and advances `clock` (if provided)
+  /// by the modeled wall time. Returns the modeled step seconds.
+  double step(std::int64_t global_batch, const ShardGradFn& shard_fn,
+              const std::vector<autograd::Variable>& params,
+              core::ManualClock* clock = nullptr) const;
+
+  /// Total gradient bytes for the cost model.
+  static double gradient_bytes(const std::vector<autograd::Variable>& params);
+
+ private:
+  Config config_;
+  tensor::Rng* rng_;
+};
+
+}  // namespace mlperf::sysim

@@ -1,0 +1,519 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlperf::tensor {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { throw std::invalid_argument("Tensor: " + msg); }
+
+std::string shape_str(const Shape& s) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ',';
+    os << s[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::int64_t Tensor::shape_numel(const Shape& s) {
+  std::int64_t n = 1;
+  for (auto d : s) {
+    if (d < 0) fail("negative extent in shape " + shape_str(s));
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), fill);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_numel(shape_) != static_cast<std::int64_t>(data_.size()))
+    fail("data size " + std::to_string(data_.size()) + " does not match shape " +
+         shape_str(shape_));
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  for (std::int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+std::int64_t Tensor::size(std::int64_t dim) const {
+  if (dim < 0) dim += ndim();
+  if (dim < 0 || dim >= ndim()) fail("size(): dim out of range");
+  return shape_[static_cast<std::size_t>(dim)];
+}
+
+std::vector<std::int64_t> Tensor::strides() const {
+  std::vector<std::int64_t> st(shape_.size(), 1);
+  for (std::int64_t i = ndim() - 2; i >= 0; --i)
+    st[static_cast<std::size_t>(i)] =
+        st[static_cast<std::size_t>(i + 1)] * shape_[static_cast<std::size_t>(i + 1)];
+  return st;
+}
+
+std::int64_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {
+  if (static_cast<std::int64_t>(idx.size()) != ndim()) fail("offset(): rank mismatch");
+  const auto st = strides();
+  std::int64_t off = 0;
+  std::size_t d = 0;
+  for (auto i : idx) {
+    if (i < 0 || i >= shape_[d]) fail("offset(): index out of range");
+    off += i * st[d];
+    ++d;
+  }
+  return off;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(offset(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(offset(idx))];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  std::int64_t known = 1;
+  std::int64_t infer_at = -1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      if (infer_at >= 0) fail("reshape(): more than one -1");
+      infer_at = static_cast<std::int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_at >= 0) {
+    if (known == 0 || numel() % known != 0) fail("reshape(): cannot infer extent");
+    new_shape[static_cast<std::size_t>(infer_at)] = numel() / known;
+  }
+  if (shape_numel(new_shape) != numel()) fail("reshape(): numel mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::permute(const std::vector<std::int64_t>& dims) const {
+  if (static_cast<std::int64_t>(dims.size()) != ndim()) fail("permute(): rank mismatch");
+  std::vector<bool> seen(dims.size(), false);
+  Shape new_shape(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    const auto d = dims[i];
+    if (d < 0 || d >= ndim() || seen[static_cast<std::size_t>(d)]) fail("permute(): bad dims");
+    seen[static_cast<std::size_t>(d)] = true;
+    new_shape[i] = shape_[static_cast<std::size_t>(d)];
+  }
+  Tensor out(new_shape);
+  const auto in_st = strides();
+  const auto out_st = out.strides();
+  const std::int64_t n = numel();
+  std::vector<std::int64_t> idx(dims.size(), 0);
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    // Decompose flat index of the OUTPUT, map back to input.
+    std::int64_t rem = flat;
+    std::int64_t src = 0;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      const std::int64_t coord = rem / out_st[i];
+      rem %= out_st[i];
+      src += coord * in_st[static_cast<std::size_t>(dims[i])];
+    }
+    out.data_[static_cast<std::size_t>(flat)] = data_[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+Tensor Tensor::transpose2d() const {
+  if (ndim() != 2) fail("transpose2d(): expects rank 2");
+  return permute({1, 0});
+}
+
+Tensor Tensor::slice0(std::int64_t begin, std::int64_t end) const {
+  if (ndim() < 1) fail("slice0(): rank 0");
+  if (begin < 0 || end > shape_[0] || begin > end) fail("slice0(): bad range");
+  Shape out_shape = shape_;
+  out_shape[0] = end - begin;
+  const std::int64_t row = numel() / std::max<std::int64_t>(shape_[0], 1);
+  std::vector<float> out(static_cast<std::size_t>((end - begin) * row));
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * row),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * row), out.begin());
+  return Tensor(std::move(out_shape), std::move(out));
+}
+
+Tensor Tensor::cat0(const std::vector<Tensor>& parts) {
+  if (parts.empty()) fail("cat0(): empty");
+  Shape out_shape = parts[0].shape_;
+  std::int64_t total0 = 0;
+  for (const auto& p : parts) {
+    if (p.ndim() != static_cast<std::int64_t>(out_shape.size())) fail("cat0(): rank mismatch");
+    for (std::size_t d = 1; d < out_shape.size(); ++d)
+      if (p.shape_[d] != out_shape[d]) fail("cat0(): trailing extent mismatch");
+    total0 += p.shape_[0];
+  }
+  out_shape[0] = total0;
+  Tensor out(out_shape);
+  std::size_t pos = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data_.begin(), p.data_.end(), out.data_.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos += p.data_.size();
+  }
+  return out;
+}
+
+Shape Tensor::broadcast_shape(const Shape& a, const Shape& b) {
+  const std::size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const std::int64_t da = i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const std::int64_t db = i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    if (da != db && da != 1 && db != 1)
+      fail("broadcast: incompatible shapes " + shape_str(a) + " vs " + shape_str(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor Tensor::binary(const Tensor& o, const std::function<float(float, float)>& f) const {
+  if (shape_ == o.shape_) {  // fast path
+    Tensor out(shape_);
+    const std::size_t n = data_.size();
+    for (std::size_t i = 0; i < n; ++i) out.data_[i] = f(data_[i], o.data_[i]);
+    return out;
+  }
+  const Shape out_shape = broadcast_shape(shape_, o.shape_);
+  Tensor out(out_shape);
+  const std::size_t rank = out_shape.size();
+  // Right-aligned strides with 0 for broadcast dims.
+  auto bc_strides = [&](const Tensor& t) {
+    std::vector<std::int64_t> st(rank, 0);
+    std::int64_t run = 1;
+    const std::size_t tr = t.shape_.size();
+    for (std::size_t i = 0; i < tr; ++i) {
+      const std::size_t d = tr - 1 - i;             // dim in t
+      const std::size_t od = rank - 1 - i;          // dim in out
+      st[od] = (t.shape_[d] == 1 && out_shape[od] != 1) ? 0 : run;
+      run *= t.shape_[d];
+    }
+    return st;
+  };
+  const auto sa = bc_strides(*this);
+  const auto sb = bc_strides(o);
+  const auto so = out.strides();
+  const std::int64_t n = out.numel();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    std::int64_t rem = flat, ia = 0, ib = 0;
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::int64_t coord = rem / so[d];
+      rem %= so[d];
+      ia += coord * sa[d];
+      ib += coord * sb[d];
+    }
+    out.data_[static_cast<std::size_t>(flat)] =
+        f(data_[static_cast<std::size_t>(ia)], o.data_[static_cast<std::size_t>(ib)]);
+  }
+  return out;
+}
+
+Tensor Tensor::reduce_to(const Shape& target) const {
+  if (shape_ == target) return *this;
+  // Verify target broadcasts to our shape, then sum the broadcast dims.
+  if (broadcast_shape(shape_, target) != shape_)
+    fail("reduce_to(): target " + shape_str(target) + " does not broadcast to " +
+         shape_str(shape_));
+  Tensor out(target);
+  const std::size_t rank = shape_.size();
+  std::vector<std::int64_t> tstrides(rank, 0);
+  {
+    std::int64_t run = 1;
+    const std::size_t tr = target.size();
+    for (std::size_t i = 0; i < tr; ++i) {
+      const std::size_t d = tr - 1 - i;
+      const std::size_t od = rank - 1 - i;
+      tstrides[od] = (target[d] == 1 && shape_[od] != 1) ? 0 : run;
+      run *= target[d];
+    }
+  }
+  const auto st = strides();
+  const std::int64_t n = numel();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    std::int64_t rem = flat, ti = 0;
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::int64_t coord = rem / st[d];
+      rem %= st[d];
+      ti += coord * tstrides[d];
+    }
+    out.data_[static_cast<std::size_t>(ti)] += data_[static_cast<std::size_t>(flat)];
+  }
+  return out;
+}
+
+Tensor Tensor::add_scalar(float s) const {
+  return map([s](float x) { return x + s; });
+}
+Tensor Tensor::mul_scalar(float s) const {
+  return map([s](float x) { return x * s; });
+}
+
+Tensor Tensor::map(const std::function<float(float)>& f) const {
+  Tensor out(shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+  return out;
+}
+
+Tensor Tensor::neg() const {
+  return map([](float x) { return -x; });
+}
+Tensor Tensor::relu() const {
+  return map([](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Tensor::exp() const {
+  return map([](float x) { return std::exp(x); });
+}
+Tensor Tensor::log() const {
+  return map([](float x) { return std::log(x); });
+}
+Tensor Tensor::tanh() const {
+  return map([](float x) { return std::tanh(x); });
+}
+Tensor Tensor::sigmoid() const {
+  return map([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Tensor::sqrt() const {
+  return map([](float x) { return std::sqrt(x); });
+}
+Tensor Tensor::pow(float e) const {
+  return map([e](float x) { return std::pow(x, e); });
+}
+Tensor Tensor::clamp(float lo, float hi) const {
+  return map([lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) fail("mean(): empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) fail("max(): empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) fail("min(): empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+std::int64_t Tensor::argmax() const {
+  if (data_.empty()) fail("argmax(): empty tensor");
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+namespace {
+// Shared axis-reduction driver: out[pre, post] = reduce over axis.
+template <typename Init, typename Step, typename Fin>
+Tensor reduce_axis(const Tensor& t, std::int64_t axis, bool keepdim, Init init, Step step,
+                   Fin fin) {
+  auto nd = t.ndim();
+  if (axis < 0) axis += nd;
+  if (axis < 0 || axis >= nd) fail("axis reduction: axis out of range");
+  const auto& sh = t.shape();
+  std::int64_t pre = 1, post = 1;
+  for (std::int64_t i = 0; i < axis; ++i) pre *= sh[static_cast<std::size_t>(i)];
+  for (std::int64_t i = axis + 1; i < nd; ++i) post *= sh[static_cast<std::size_t>(i)];
+  const std::int64_t ax = sh[static_cast<std::size_t>(axis)];
+  Shape out_shape;
+  for (std::int64_t i = 0; i < nd; ++i) {
+    if (i == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(sh[static_cast<std::size_t>(i)]);
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  Tensor out(out_shape);
+  const float* src = t.data();
+  float* dst = out.data();
+  for (std::int64_t p = 0; p < pre; ++p) {
+    for (std::int64_t q = 0; q < post; ++q) {
+      auto acc = init();
+      for (std::int64_t a = 0; a < ax; ++a)
+        acc = step(acc, src[(p * ax + a) * post + q]);
+      dst[p * post + q] = fin(acc, ax);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Tensor Tensor::sum_axis(std::int64_t axis, bool keepdim) const {
+  return reduce_axis(
+      *this, axis, keepdim, [] { return 0.0; },
+      [](double acc, float v) { return acc + v; },
+      [](double acc, std::int64_t) { return static_cast<float>(acc); });
+}
+
+Tensor Tensor::mean_axis(std::int64_t axis, bool keepdim) const {
+  return reduce_axis(
+      *this, axis, keepdim, [] { return 0.0; },
+      [](double acc, float v) { return acc + v; },
+      [](double acc, std::int64_t n) { return static_cast<float>(acc / static_cast<double>(n)); });
+}
+
+Tensor Tensor::max_axis(std::int64_t axis, bool keepdim) const {
+  return reduce_axis(
+      *this, axis, keepdim, [] { return -std::numeric_limits<float>::infinity(); },
+      [](float acc, float v) { return std::max(acc, v); },
+      [](float acc, std::int64_t) { return acc; });
+}
+
+std::vector<std::int64_t> Tensor::argmax_last() const {
+  if (ndim() < 1) fail("argmax_last(): rank 0");
+  const std::int64_t last = shape_.back();
+  if (last == 0) fail("argmax_last(): empty last axis");
+  const std::int64_t rows = numel() / last;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = data() + r * last;
+    out[static_cast<std::size_t>(r)] =
+        static_cast<std::int64_t>(std::max_element(row, row + last) - row);
+  }
+  return out;
+}
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                     std::int64_t n) {
+  // i-k-j loop order: unit-stride inner loop over both B and C rows, which is
+  // the right shape for a single-core cache hierarchy at our problem sizes.
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::int64_t i1 = std::min(i0 + kBlock, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+      const std::int64_t k1 = std::min(k0 + kBlock, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float av = a[i * k + kk];
+          if (av == 0.0f) continue;
+          const float* brow = b + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+Tensor Tensor::matmul(const Tensor& o) const {
+  if (ndim() != 2 || o.ndim() != 2) fail("matmul(): expects rank-2 operands");
+  if (shape_[1] != o.shape_[0])
+    fail("matmul(): inner extent mismatch " + shape_str(shape_) + " x " + shape_str(o.shape_));
+  Tensor out({shape_[0], o.shape_[1]});
+  gemm_accumulate(data(), o.data(), out.data(), shape_[0], shape_[1], o.shape_[1]);
+  return out;
+}
+
+Tensor Tensor::bmm(const Tensor& o) const {
+  if (ndim() != 3 || o.ndim() != 3) fail("bmm(): expects rank-3 operands");
+  if (shape_[0] != o.shape_[0] || shape_[2] != o.shape_[1])
+    fail("bmm(): shape mismatch " + shape_str(shape_) + " x " + shape_str(o.shape_));
+  const std::int64_t b = shape_[0], m = shape_[1], k = shape_[2], n = o.shape_[2];
+  Tensor out({b, m, n});
+  for (std::int64_t i = 0; i < b; ++i)
+    gemm_accumulate(data() + i * m * k, o.data() + i * k * n, out.data() + i * m * n, m, k, n);
+  return out;
+}
+
+Tensor Tensor::softmax_last() const {
+  if (ndim() < 1) fail("softmax_last(): rank 0");
+  const std::int64_t last = shape_.back();
+  const std::int64_t rows = numel() / std::max<std::int64_t>(last, 1);
+  Tensor out(shape_);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src = data() + r * last;
+    float* dst = out.data() + r * last;
+    const float mx = *std::max_element(src, src + last);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < last; ++j) {
+      dst[j] = std::exp(src[j] - mx);
+      denom += dst[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < last; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+Tensor Tensor::log_softmax_last() const {
+  if (ndim() < 1) fail("log_softmax_last(): rank 0");
+  const std::int64_t last = shape_.back();
+  const std::int64_t rows = numel() / std::max<std::int64_t>(last, 1);
+  Tensor out(shape_);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src = data() + r * last;
+    float* dst = out.data() + r * last;
+    const float mx = *std::max_element(src, src + last);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < last; ++j) denom += std::exp(src[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(denom));
+    for (std::int64_t j = 0; j < last; ++j) dst[j] = src[j] - lse;
+  }
+  return out;
+}
+
+float Tensor::l2_norm_sq() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(s);
+}
+
+bool Tensor::all_finite() const {
+  return std::all_of(data_.begin(), data_.end(), [](float v) { return std::isfinite(v); });
+}
+
+std::string Tensor::to_string(std::int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_str(shape_) << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace mlperf::tensor

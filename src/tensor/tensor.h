@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace mlperf::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Dense, contiguous, row-major float32 tensor with value semantics.
+///
+/// This is the numeric substrate for the whole stack: autograd, layers and
+/// models are built on it. It deliberately favours simplicity and
+/// debuggability: one dtype, contiguous storage, explicit broadcast rules
+/// (NumPy-style, right-aligned), no views. All shapes use signed 64-bit
+/// extents; any rank mismatch or out-of-range access throws.
+class Tensor {
+ public:
+  /// Empty scalar-less tensor (numel == 0, rank 0).
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Constant-filled tensor.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor adopting the given data (size must match the shape's numel).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // ----- factories ---------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor scalar(float v) { return Tensor({1}, {v}); }
+  /// [0, 1, ..., n-1] as a 1-D tensor.
+  static Tensor arange(std::int64_t n);
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  // ----- structure ---------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t size(std::int64_t dim) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::int64_t flat) { return data_[static_cast<std::size_t>(flat)]; }
+  float operator[](std::int64_t flat) const { return data_[static_cast<std::size_t>(flat)]; }
+
+  /// Bounds-checked multi-dimensional access.
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  /// Flat offset of a multi-dimensional index (bounds-checked).
+  std::int64_t offset(std::initializer_list<std::int64_t> idx) const;
+
+  // ----- shape manipulation (all return fresh tensors) ---------------------
+  /// Same data, new shape; one extent may be -1 (inferred). Numel must match.
+  Tensor reshape(Shape new_shape) const;
+  /// Permute dimensions, e.g. permute({1,0}) is a 2-D transpose.
+  Tensor permute(const std::vector<std::int64_t>& dims) const;
+  /// 2-D transpose convenience.
+  Tensor transpose2d() const;
+  /// Slice along dim 0: rows [begin, end).
+  Tensor slice0(std::int64_t begin, std::int64_t end) const;
+  /// Concatenate along dim 0 (all other extents must match).
+  static Tensor cat0(const std::vector<Tensor>& parts);
+
+  // ----- elementwise & broadcast binary ops ---------------------------------
+  Tensor add(const Tensor& o) const { return binary(o, std::plus<float>{}); }
+  Tensor sub(const Tensor& o) const { return binary(o, std::minus<float>{}); }
+  Tensor mul(const Tensor& o) const { return binary(o, std::multiplies<float>{}); }
+  Tensor div(const Tensor& o) const { return binary(o, std::divides<float>{}); }
+  Tensor add_scalar(float s) const;
+  Tensor mul_scalar(float s) const;
+  /// General broadcast binary op (NumPy right-aligned broadcast rules).
+  Tensor binary(const Tensor& o, const std::function<float(float, float)>& f) const;
+  /// Shape of broadcasting `a` with `b`; throws if incompatible.
+  static Shape broadcast_shape(const Shape& a, const Shape& b);
+  /// Sum this tensor down to `target` shape (reverse of broadcast).
+  Tensor reduce_to(const Shape& target) const;
+
+  // ----- unary maps ---------------------------------------------------------
+  Tensor map(const std::function<float(float)>& f) const;
+  Tensor neg() const;
+  Tensor relu() const;
+  Tensor exp() const;
+  Tensor log() const;
+  Tensor tanh() const;
+  Tensor sigmoid() const;
+  Tensor sqrt() const;
+  Tensor pow(float e) const;
+  Tensor clamp(float lo, float hi) const;
+
+  // ----- reductions ---------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float max() const;
+  float min() const;
+  /// Index of max element (flat).
+  std::int64_t argmax() const;
+  /// Sum along one axis; keepdim keeps the axis with extent 1.
+  Tensor sum_axis(std::int64_t axis, bool keepdim = false) const;
+  Tensor mean_axis(std::int64_t axis, bool keepdim = false) const;
+  Tensor max_axis(std::int64_t axis, bool keepdim = false) const;
+  /// Argmax along the last axis: shape drops the last dim.
+  std::vector<std::int64_t> argmax_last() const;
+
+  // ----- linear algebra ------------------------------------------------------
+  /// 2-D matrix product: [m,k] x [k,n] -> [m,n].
+  Tensor matmul(const Tensor& o) const;
+  /// Batched matmul: [b,m,k] x [b,k,n] -> [b,m,n].
+  Tensor bmm(const Tensor& o) const;
+
+  // ----- softmax family ------------------------------------------------------
+  /// Numerically-stable softmax over the last axis.
+  Tensor softmax_last() const;
+  /// Numerically-stable log-softmax over the last axis.
+  Tensor log_softmax_last() const;
+
+  // ----- misc ----------------------------------------------------------------
+  /// Squared L2 norm of all entries.
+  float l2_norm_sq() const;
+  /// True if all finite.
+  bool all_finite() const;
+  std::string to_string(std::int64_t max_elems = 32) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+
+  static std::int64_t shape_numel(const Shape& s);
+  std::vector<std::int64_t> strides() const;
+};
+
+/// C[m,n] += A[m,k] * B[k,n]; the blocked GEMM kernel underlying matmul,
+/// conv2d (via im2col) and the linear layers. C must be pre-sized.
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+
+}  // namespace mlperf::tensor

@@ -1,0 +1,223 @@
+#include "autograd/variable.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace mlperf::autograd {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Central-difference gradient check: builds a scalar loss L(x) = sum(f(x) *
+/// fixed random weights) and compares autograd's dL/dx to finite differences.
+void gradcheck(const std::function<Variable(const Variable&)>& f, Tensor x0,
+               double tol = 2e-2, float eps = 1e-3f) {
+  Variable x(x0, /*requires_grad=*/true);
+  Variable y = f(x);
+  Rng wrng(99);
+  Tensor w = Tensor::rand(y.value().shape(), wrng, 0.5f, 1.5f);
+  Variable loss = sum_all(mul(y, Variable(w)));
+  loss.backward();
+  const Tensor& analytic = x.grad();
+
+  for (std::int64_t i = 0; i < x0.numel(); ++i) {
+    Tensor xp = x0, xm = x0;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float lp = mul(f(Variable(xp)), Variable(w)).value().sum();
+    const float lm = mul(f(Variable(xm)), Variable(w)).value().sum();
+    const double numeric = (static_cast<double>(lp) - lm) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "component " << i;
+  }
+}
+
+TEST(AutogradCore, LeafHasNoBackwardAndZeroGrad) {
+  Variable v(Tensor({2, 2}, 1.0f), true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.grad().sum(), 0.0f);
+}
+
+TEST(AutogradCore, BackwardRequiresScalarOrSeed) {
+  Variable v(Tensor({2, 2}, 1.0f), true);
+  Variable y = mul_scalar(v, 2.0f);
+  EXPECT_THROW(y.backward(), std::invalid_argument);
+  y.backward(Tensor({2, 2}, 1.0f));
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(v.grad()[i], 2.0f);
+}
+
+TEST(AutogradCore, GradAccumulatesAcrossBackwardCalls) {
+  Variable v(Tensor({1}, 3.0f), true);
+  Variable y1 = mul_scalar(v, 2.0f);
+  y1.backward();
+  Variable y2 = mul_scalar(v, 5.0f);
+  y2.backward();
+  EXPECT_FLOAT_EQ(v.grad()[0], 7.0f);
+  v.zero_grad();
+  EXPECT_FLOAT_EQ(v.grad()[0], 0.0f);
+}
+
+TEST(AutogradCore, DiamondGraphGradientIsCorrect) {
+  // y = x*x + x*x (two paths through the same node).
+  Variable x(Tensor({1}, 3.0f), true);
+  Variable sq = mul(x, x);
+  Variable y = add(sq, sq);
+  y.backward(Tensor({1}, 1.0f));
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);  // d(2x^2)/dx = 4x
+}
+
+TEST(AutogradCore, DetachBlocksGradient) {
+  Variable x(Tensor({1}, 2.0f), true);
+  Variable y = mul(detach(x), x);  // d/dx = detach(x) only
+  y.backward(Tensor({1}, 1.0f));
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(AutogradCore, NoGradThroughNonRequiringLeaf) {
+  Variable a(Tensor({2}, 1.0f), true);
+  Variable b(Tensor({2}, 5.0f), false);
+  Variable y = sum_all(mul(a, b));
+  y.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 5.0f);
+  EXPECT_FLOAT_EQ(b.grad().sum(), 0.0f);
+}
+
+TEST(AutogradGradcheck, Add) {
+  Rng rng(1);
+  Tensor b = Tensor::randn({3, 4}, rng);
+  gradcheck([&](const Variable& x) { return add(x, Variable(b)); },
+            Tensor::randn({3, 4}, rng));
+}
+
+TEST(AutogradGradcheck, BroadcastAddReducesGrad) {
+  Rng rng(2);
+  Tensor big = Tensor::randn({4, 3}, rng);
+  gradcheck([&](const Variable& x) { return add(Variable(big), x); }, Tensor::randn({3}, rng));
+}
+
+TEST(AutogradGradcheck, MulAndDiv) {
+  Rng rng(3);
+  Tensor b = Tensor::rand({2, 5}, rng, 0.5f, 2.0f);
+  gradcheck([&](const Variable& x) { return mul(x, Variable(b)); }, Tensor::randn({2, 5}, rng));
+  gradcheck([&](const Variable& x) { return div(x, Variable(b)); }, Tensor::randn({2, 5}, rng));
+  Tensor num = Tensor::rand({2, 5}, rng, 0.5f, 2.0f);
+  gradcheck([&](const Variable& x) { return div(Variable(num), x); },
+            Tensor::rand({2, 5}, rng, 0.5f, 2.0f));
+}
+
+TEST(AutogradGradcheck, MatmulBothSides) {
+  Rng rng(4);
+  Tensor b = Tensor::randn({4, 3}, rng);
+  gradcheck([&](const Variable& x) { return matmul(x, Variable(b)); },
+            Tensor::randn({2, 4}, rng));
+  Tensor a = Tensor::randn({2, 4}, rng);
+  gradcheck([&](const Variable& x) { return matmul(Variable(a), x); },
+            Tensor::randn({4, 3}, rng));
+}
+
+TEST(AutogradGradcheck, Bmm) {
+  Rng rng(5);
+  Tensor b = Tensor::randn({2, 3, 2}, rng);
+  gradcheck([&](const Variable& x) { return bmm(x, Variable(b)); },
+            Tensor::randn({2, 2, 3}, rng));
+}
+
+TEST(AutogradGradcheck, UnaryOps) {
+  Rng rng(6);
+  gradcheck([](const Variable& x) { return tanh_op(x); }, Tensor::randn({8}, rng));
+  gradcheck([](const Variable& x) { return sigmoid(x); }, Tensor::randn({8}, rng));
+  gradcheck([](const Variable& x) { return exp_op(x); }, Tensor::randn({8}, rng, 0.0f, 0.5f));
+  gradcheck([](const Variable& x) { return log_op(x); }, Tensor::rand({8}, rng, 0.5f, 2.0f));
+  gradcheck([](const Variable& x) { return sqrt_op(x); }, Tensor::rand({8}, rng, 0.5f, 2.0f));
+  gradcheck([](const Variable& x) { return neg(x); }, Tensor::randn({8}, rng));
+}
+
+TEST(AutogradGradcheck, ReluAwayFromKink) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({16}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;  // keep FD away from the kink
+  gradcheck([](const Variable& v) { return relu(v); }, x);
+}
+
+TEST(AutogradGradcheck, ReshapePermute) {
+  Rng rng(8);
+  gradcheck([](const Variable& x) { return reshape(x, {6, 2}); }, Tensor::randn({3, 4}, rng));
+  gradcheck([](const Variable& x) { return permute(x, {1, 0}); }, Tensor::randn({3, 4}, rng));
+  gradcheck([](const Variable& x) { return permute(x, {2, 0, 1}); },
+            Tensor::randn({2, 3, 4}, rng));
+}
+
+TEST(AutogradGradcheck, SliceAndCat) {
+  Rng rng(9);
+  gradcheck([](const Variable& x) { return slice0(x, 1, 3); }, Tensor::randn({4, 2}, rng));
+  gradcheck([](const Variable& x) { return cat0({slice0(x, 2, 4), slice0(x, 0, 2)}); },
+            Tensor::randn({4, 2}, rng));
+}
+
+TEST(AutogradGradcheck, Reductions) {
+  Rng rng(10);
+  gradcheck([](const Variable& x) { return sum_all(x); }, Tensor::randn({3, 3}, rng));
+  gradcheck([](const Variable& x) { return mean_all(x); }, Tensor::randn({3, 3}, rng));
+  gradcheck([](const Variable& x) { return sum_axis(x, 0); }, Tensor::randn({3, 4}, rng));
+  gradcheck([](const Variable& x) { return sum_axis(x, 1, true); }, Tensor::randn({3, 4}, rng));
+  gradcheck([](const Variable& x) { return mean_axis(x, -1); }, Tensor::randn({3, 4}, rng));
+}
+
+TEST(AutogradGradcheck, SoftmaxFamilies) {
+  Rng rng(11);
+  gradcheck([](const Variable& x) { return softmax_last(x); }, Tensor::randn({3, 5}, rng),
+            /*tol=*/3e-2);
+  gradcheck([](const Variable& x) { return log_softmax_last(x); }, Tensor::randn({3, 5}, rng),
+            /*tol=*/3e-2);
+}
+
+TEST(AutogradGradcheck, Embedding) {
+  Rng rng(12);
+  const std::vector<std::int64_t> idx = {0, 2, 2, 1};
+  gradcheck([&](const Variable& t) { return embedding(t, idx); }, Tensor::randn({3, 4}, rng));
+}
+
+TEST(AutogradEmbedding, RepeatedIndicesAccumulate) {
+  Variable table(Tensor({2, 2}, {1, 2, 3, 4}), true);
+  Variable out = embedding(table, {1, 1, 1});
+  sum_all(out).backward();
+  EXPECT_FLOAT_EQ(table.grad().at({1, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(table.grad().at({0, 0}), 0.0f);
+}
+
+TEST(AutogradEmbedding, OutOfRangeThrows) {
+  Variable table(Tensor({2, 2}), true);
+  EXPECT_THROW(embedding(table, {2}), std::out_of_range);
+}
+
+TEST(AutogradChain, TwoLayerMlpGradcheck) {
+  Rng rng(13);
+  Tensor w1 = Tensor::randn({4, 5}, rng, 0.0f, 0.5f);
+  Tensor w2 = Tensor::randn({5, 2}, rng, 0.0f, 0.5f);
+  gradcheck(
+      [&](const Variable& x) {
+        Variable h = tanh_op(matmul(x, Variable(w1)));
+        return matmul(h, Variable(w2));
+      },
+      Tensor::randn({3, 4}, rng));
+}
+
+TEST(AutogradChain, WeightGradientThroughDeepChain) {
+  Rng rng(14);
+  Tensor x = Tensor::randn({3, 4}, rng);
+  gradcheck(
+      [&](const Variable& w) {
+        Variable h = sigmoid(matmul(Variable(x), w));
+        Variable h2 = mul(h, h);
+        return sum_axis(h2, 0);
+      },
+      Tensor::randn({4, 3}, rng, 0.0f, 0.5f));
+}
+
+}  // namespace
+}  // namespace mlperf::autograd

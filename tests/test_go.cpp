@@ -1,0 +1,250 @@
+#include "go/board.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace mlperf::go {
+namespace {
+
+std::int64_t pt(const Board& b, std::int64_t row, std::int64_t col) {
+  return row * b.size() + col;
+}
+
+TEST(Board, StartsEmptyBlackToPlay) {
+  Board b(9);
+  EXPECT_EQ(b.size(), 9);
+  EXPECT_EQ(b.to_play(), Stone::kBlack);
+  EXPECT_FALSE(b.game_over());
+  for (std::int64_t p = 0; p < 81; ++p) EXPECT_EQ(b.at(p), Stone::kEmpty);
+}
+
+TEST(Board, BadSizeThrows) {
+  EXPECT_THROW(Board(1), std::invalid_argument);
+  EXPECT_THROW(Board(20), std::invalid_argument);
+}
+
+TEST(Board, PlayAlternatesColors) {
+  Board b(9);
+  b.play(Move::at(0));
+  EXPECT_EQ(b.at(0), Stone::kBlack);
+  EXPECT_EQ(b.to_play(), Stone::kWhite);
+  b.play(Move::at(1));
+  EXPECT_EQ(b.at(1), Stone::kWhite);
+}
+
+TEST(Board, OccupiedPointIsIllegal) {
+  Board b(9);
+  b.play(Move::at(40));
+  EXPECT_FALSE(b.is_legal(Move::at(40)));
+  EXPECT_THROW(b.play(Move::at(40)), std::invalid_argument);
+}
+
+TEST(Board, TwoPassesEndGame) {
+  Board b(9);
+  b.play(Move::pass());
+  EXPECT_FALSE(b.game_over());
+  b.play(Move::pass());
+  EXPECT_TRUE(b.game_over());
+  EXPECT_FALSE(b.is_legal(Move::pass()));
+  EXPECT_TRUE(b.legal_moves().empty());
+}
+
+TEST(Board, PassResetsOnStonePlay) {
+  Board b(9);
+  b.play(Move::pass());
+  b.play(Move::at(0));
+  b.play(Move::pass());
+  EXPECT_FALSE(b.game_over());
+}
+
+TEST(Board, LibertiesCountedCorrectly) {
+  Board b(9);
+  b.play(Move::at(pt(b, 4, 4)));  // center: 4 liberties
+  EXPECT_EQ(b.liberties(pt(b, 4, 4)), 4);
+  Board c(9);
+  c.play(Move::at(pt(c, 0, 0)));  // corner: 2 liberties
+  EXPECT_EQ(c.liberties(pt(c, 0, 0)), 2);
+}
+
+TEST(Board, GroupLibertiesShared) {
+  Board b(9);
+  b.play(Move::at(pt(b, 4, 4)));  // black
+  b.play(Move::at(pt(b, 0, 0)));  // white elsewhere
+  b.play(Move::at(pt(b, 4, 5)));  // black: group of two
+  EXPECT_EQ(b.liberties(pt(b, 4, 4)), 6);
+  EXPECT_EQ(b.liberties(pt(b, 4, 5)), 6);
+}
+
+TEST(Board, SingleStoneCapture) {
+  Board b(9);
+  // White stone at (0,0) captured by black at (0,1) and (1,0).
+  b.play(Move::at(pt(b, 4, 4)));  // B filler
+  b.play(Move::at(pt(b, 0, 0)));  // W corner
+  b.play(Move::at(pt(b, 0, 1)));  // B
+  b.play(Move::at(pt(b, 5, 5)));  // W filler
+  b.play(Move::at(pt(b, 1, 0)));  // B captures
+  EXPECT_EQ(b.at(pt(b, 0, 0)), Stone::kEmpty);
+}
+
+TEST(Board, GroupCapture) {
+  Board b(9);
+  // Build a white group of two at (0,0) (0,1) and capture it.
+  b.play(Move::at(pt(b, 4, 4)));  // B
+  b.play(Move::at(pt(b, 0, 0)));  // W
+  b.play(Move::at(pt(b, 1, 0)));  // B
+  b.play(Move::at(pt(b, 0, 1)));  // W group of 2
+  b.play(Move::at(pt(b, 1, 1)));  // B
+  b.play(Move::at(pt(b, 5, 5)));  // W filler
+  b.play(Move::at(pt(b, 0, 2)));  // B captures both
+  EXPECT_EQ(b.at(pt(b, 0, 0)), Stone::kEmpty);
+  EXPECT_EQ(b.at(pt(b, 0, 1)), Stone::kEmpty);
+}
+
+TEST(Board, SuicideIsIllegal) {
+  Board b(9);
+  // Black surrounds (0,0); white playing there would be suicide.
+  b.play(Move::at(pt(b, 0, 1)));  // B
+  b.play(Move::at(pt(b, 5, 5)));  // W
+  b.play(Move::at(pt(b, 1, 0)));  // B
+  EXPECT_EQ(b.to_play(), Stone::kWhite);
+  EXPECT_FALSE(b.is_legal(Move::at(pt(b, 0, 0))));
+}
+
+TEST(Board, CapturingIntoZeroLibertyPointIsLegal) {
+  // Black plays (0,0) — a point with no liberties of its own — but the move
+  // captures the adjacent white group, so it is legal (not suicide).
+  Board b(5);
+  b.play(Move::at(pt(b, 0, 2)));  // B
+  b.play(Move::at(pt(b, 0, 1)));  // W
+  b.play(Move::at(pt(b, 2, 0)));  // B
+  b.play(Move::at(pt(b, 1, 0)));  // W
+  b.play(Move::at(pt(b, 2, 1)));  // B
+  b.play(Move::at(pt(b, 1, 1)));  // W group {(0,1),(1,0),(1,1)}
+  b.play(Move::at(pt(b, 1, 2)));  // B — white group's last liberty is (0,0)
+  b.play(Move::pass());           // W
+  EXPECT_EQ(b.to_play(), Stone::kBlack);
+  ASSERT_TRUE(b.is_legal(Move::at(pt(b, 0, 0))));
+  b.play(Move::at(pt(b, 0, 0)));
+  EXPECT_EQ(b.at(pt(b, 0, 1)), Stone::kEmpty);  // white captured
+  EXPECT_EQ(b.at(pt(b, 1, 0)), Stone::kEmpty);
+  EXPECT_EQ(b.at(pt(b, 1, 1)), Stone::kEmpty);
+  EXPECT_EQ(b.at(pt(b, 0, 0)), Stone::kBlack);
+  EXPECT_GT(b.liberties(pt(b, 0, 0)), 0);
+}
+
+TEST(Board, SimpleKoForbidden) {
+  Board b(9);
+  // Classic ko shape around (1,1)/(1,2).
+  // B: (0,1), (1,0), (2,1); W: (0,2), (1,3), (2,2); B plays (1,2), W captures
+  // at (1,1), then B immediate recapture at (1,2) must be illegal (superko).
+  b.play(Move::at(pt(b, 0, 1)));  // B
+  b.play(Move::at(pt(b, 0, 2)));  // W
+  b.play(Move::at(pt(b, 1, 0)));  // B
+  b.play(Move::at(pt(b, 1, 3)));  // W
+  b.play(Move::at(pt(b, 2, 1)));  // B
+  b.play(Move::at(pt(b, 2, 2)));  // W
+  b.play(Move::at(pt(b, 1, 2)));  // B stone in the ko
+  b.play(Move::at(pt(b, 1, 1)));  // W captures the B stone (ko)
+  EXPECT_EQ(b.at(pt(b, 1, 2)), Stone::kEmpty);
+  EXPECT_FALSE(b.is_legal(Move::at(pt(b, 1, 2))))
+      << "immediate ko recapture must violate positional superko";
+}
+
+TEST(Board, ScoringEmptyBoardIsKomi) {
+  Board b(9, 5.5f);
+  EXPECT_FLOAT_EQ(b.tromp_taylor_score(), -5.5f);
+  EXPECT_EQ(b.winner(), Stone::kWhite);
+}
+
+TEST(Board, ScoringCountsTerritory) {
+  Board b(5, 0.5f);
+  // Black wall on column 2 splits the board; black owns left side if white
+  // has no stones there.
+  for (std::int64_t r = 0; r < 5; ++r) {
+    b.play(Move::at(pt(b, r, 2)));         // B wall
+    if (r < 4) b.play(Move::at(pt(b, r, 4)));  // W column
+  }
+  // Black: 5 stones + 10 territory (cols 0-1). White: 4 stones + col-3 region
+  // touches both colors -> neutral.
+  const float score = b.tromp_taylor_score();
+  EXPECT_FLOAT_EQ(score, 5.0f + 10.0f - 4.0f - 0.5f);
+  EXPECT_EQ(b.winner(), Stone::kBlack);
+}
+
+TEST(Board, LegalMovesShrinkAsBoardFills) {
+  Board b(5);
+  const auto before = b.legal_moves().size();
+  b.play(Move::at(0));
+  EXPECT_LT(b.legal_moves().size(), before);
+}
+
+TEST(Board, LegalMovesAlwaysIncludePass) {
+  Board b(5);
+  const auto moves = b.legal_moves();
+  bool has_pass = false;
+  for (const auto& m : moves)
+    if (m.is_pass()) has_pass = true;
+  EXPECT_TRUE(has_pass);
+}
+
+TEST(Board, PositionHashChangesWithStones) {
+  Board b(9);
+  const auto h0 = b.position_hash();
+  b.play(Move::at(3));
+  EXPECT_NE(b.position_hash(), h0);
+}
+
+TEST(Board, HashIdenticalForIdenticalPositions) {
+  Board a(9), b(9);
+  a.play(Move::at(1));
+  a.play(Move::at(2));
+  b.play(Move::at(1));
+  b.play(Move::at(2));
+  EXPECT_EQ(a.position_hash(), b.position_hash());
+}
+
+TEST(Board, CaptureRestoresHashOfEmptyPoint) {
+  // After capture, position hash reflects the removed stone.
+  Board b(9);
+  b.play(Move::at(pt(b, 4, 4)));
+  b.play(Move::at(pt(b, 0, 0)));
+  b.play(Move::at(pt(b, 0, 1)));
+  b.play(Move::at(pt(b, 5, 5)));
+  Board reference = b;  // before capture
+  b.play(Move::at(pt(b, 1, 0)));  // captures W (0,0)
+  EXPECT_NE(b.position_hash(), reference.position_hash());
+  EXPECT_EQ(b.at(pt(b, 0, 0)), Stone::kEmpty);
+}
+
+TEST(Board, ToStringRendersStones) {
+  Board b(5);
+  b.play(Move::at(0));
+  const std::string s = b.to_string();
+  EXPECT_EQ(s[0], 'X');
+  EXPECT_NE(s.find("white to play"), std::string::npos);
+}
+
+// Property: random legal playouts terminate and never throw.
+class RandomPlayout : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPlayout, CompletesWithoutRuleViolations) {
+  tensor::Rng rng(GetParam());
+  Board b(5, 0.5f);
+  std::int64_t moves = 0;
+  while (!b.game_over() && moves < 200) {
+    const auto legal = b.legal_moves();
+    ASSERT_FALSE(legal.empty());
+    const Move m = legal[static_cast<std::size_t>(rng.randint(legal.size()))];
+    ASSERT_TRUE(b.is_legal(m));
+    b.play(m);
+    ++moves;
+  }
+  // Scoring always works on any reachable position.
+  (void)b.tromp_taylor_score();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlayout, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mlperf::go

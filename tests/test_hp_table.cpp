@@ -1,0 +1,134 @@
+#include "harness/hp_table.h"
+
+#include <gtest/gtest.h>
+
+namespace mlperf::harness {
+namespace {
+
+using core::BenchmarkId;
+
+double hp(const HpRecommendation& r, const std::string& name) {
+  const auto& v = r.hyperparameters.at(name);
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  return static_cast<double>(std::get<std::int64_t>(v));
+}
+
+TEST(HpTable, GlobalBatchScalesWithChips) {
+  const auto suite = core::suite_v05();
+  const auto r1 = recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 1,
+                                            numerics::Format::kFP32);
+  const auto r16 = recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 16,
+                                             numerics::Format::kFP32);
+  EXPECT_DOUBLE_EQ(hp(r16, "global_batch_size"), 16.0 * hp(r1, "global_batch_size"));
+}
+
+TEST(HpTable, LinearScalingRuleForSgdBenchmarks) {
+  const auto suite = core::suite_v05();
+  const auto r4 = recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 4,
+                                            numerics::Format::kFP32);
+  const auto r8 = recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 8,
+                                            numerics::Format::kFP32);
+  EXPECT_NEAR(hp(r8, "learning_rate") / hp(r4, "learning_rate"), 2.0, 1e-9);
+}
+
+TEST(HpTable, AdamBenchmarksScaleSublinearly) {
+  const auto suite = core::suite_v05();
+  const auto r4 = recommend_hyperparameters(suite, BenchmarkId::kTranslationNonRecurrent, 4,
+                                            numerics::Format::kFP32);
+  const auto r16 = recommend_hyperparameters(suite, BenchmarkId::kTranslationNonRecurrent, 16,
+                                             numerics::Format::kFP32);
+  const double ratio = hp(r16, "learning_rate") / hp(r4, "learning_rate");
+  EXPECT_NEAR(ratio, 2.0, 1e-9);  // sqrt(4x)
+}
+
+TEST(HpTable, WarmupGrowsWithScale) {
+  const auto suite = core::suite_v05();
+  const auto small = recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 4,
+                                               numerics::Format::kFP32);
+  const auto large = recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 256,
+                                               numerics::Format::kFP32);
+  EXPECT_GT(hp(large, "warmup_steps"), hp(small, "warmup_steps"));
+}
+
+TEST(HpTable, LarsRecommendedOnlyAtLargeScaleInV06) {
+  const auto v5 = core::suite_v05();
+  const auto v6 = core::suite_v06();
+  // 256 chips * 64 per-chip = 16384 >= LARS threshold 8192.
+  EXPECT_EQ(recommend_hyperparameters(v5, BenchmarkId::kImageClassification, 256,
+                                      numerics::Format::kFP32)
+                .optimizer,
+            "sgd_momentum");  // LARS not allowed in v0.5
+  const auto rec6 = recommend_hyperparameters(v6, BenchmarkId::kImageClassification, 256,
+                                              numerics::Format::kFP32);
+  EXPECT_EQ(rec6.optimizer, "lars");
+  EXPECT_TRUE(rec6.hyperparameters.count("lars_eta"));
+  // Small scale: plain SGD even in v0.6.
+  EXPECT_EQ(recommend_hyperparameters(v6, BenchmarkId::kImageClassification, 4,
+                                      numerics::Format::kFP32)
+                .optimizer,
+            "sgd_momentum");
+}
+
+TEST(HpTable, LossScaleOnlyForNarrowExponentFormats) {
+  const auto suite = core::suite_v05();
+  EXPECT_EQ(recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 8,
+                                      numerics::Format::kFP32)
+                .loss_scale,
+            1.0f);
+  EXPECT_EQ(recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 8,
+                                      numerics::Format::kBF16)
+                .loss_scale,
+            1.0f);
+  EXPECT_GT(recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 8,
+                                      numerics::Format::kFP16)
+                .loss_scale,
+            1.0f);
+  EXPECT_GT(recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 8,
+                                      numerics::Format::kFP8E4M3)
+                .loss_scale,
+            recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 8,
+                                      numerics::Format::kFP16)
+                .loss_scale);
+}
+
+TEST(HpTable, RecommendationsStayInsideClosedDivisionWhitelist) {
+  // The table must only recommend knobs a Closed submission may actually set.
+  const auto v5 = core::suite_v05();
+  const auto v6 = core::suite_v06();
+  for (const auto& suite : {v5, v6}) {
+    for (const auto& spec : suite.benchmarks) {
+      for (std::int64_t chips : {1, 16, 1024}) {
+        const auto rec =
+            recommend_hyperparameters(suite, spec.id, chips, numerics::Format::kFP32);
+        const auto rules = core::closed_rules(suite, spec.id);
+        for (const auto& [name, value] : rec.hyperparameters)
+          EXPECT_TRUE(rules.hyperparameter_allowed(name))
+              << suite.version << " " << spec.name << " " << name;
+        EXPECT_TRUE(rules.optimizer_allowed(rec.optimizer))
+            << suite.version << " " << spec.name;
+      }
+    }
+  }
+}
+
+TEST(HpTable, BadInputsThrow) {
+  const auto suite = core::suite_v05();
+  EXPECT_THROW(recommend_hyperparameters(suite, BenchmarkId::kImageClassification, 0,
+                                         numerics::Format::kFP32),
+               std::invalid_argument);
+  const auto v6 = core::suite_v06();
+  EXPECT_THROW(recommend_hyperparameters(v6, BenchmarkId::kRecommendation, 8,
+                                         numerics::Format::kFP32),
+               std::out_of_range);  // NCF not in v0.6
+}
+
+TEST(HpTable, FormatsAllBenchmarks) {
+  const auto suite = core::suite_v05();
+  const std::string table = format_hp_table(suite, {1, 16, 256}, numerics::Format::kFP16);
+  for (const auto& spec : suite.benchmarks)
+    EXPECT_NE(table.find(spec.name), std::string::npos) << spec.name;
+  EXPECT_NE(table.find("fp16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlperf::harness
