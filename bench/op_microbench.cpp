@@ -7,6 +7,7 @@
 
 #include "nn/functional.h"
 #include "nn/layers.h"
+#include "parallel/parallel_for.h"
 #include "tensor/tensor.h"
 
 using namespace mlperf;
@@ -38,6 +39,49 @@ static void BM_Conv2dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+// Threaded variants: same kernels through the parallel_for partitioner with a
+// worker pool of range(1) threads. The output is bitwise identical across the
+// thread counts (asserted in tests/test_parallel.cpp); only the wall time may
+// move. Thread count 1 keeps the pool absent, i.e. the inline path above.
+static void BM_GemmThreaded(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  parallel::set_num_threads(state.range(1));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = a.matmul(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  parallel::set_num_threads(1);
+}
+BENCHMARK(BM_GemmThreaded)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4});
+
+static void BM_Conv2dForwardThreaded(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  parallel::set_num_threads(state.range(1));
+  Rng rng(2);
+  Tensor x = Tensor::randn({4, c, 16, 16}, rng);
+  Tensor w = Tensor::randn({c, c, 3, 3}, rng);
+  autograd::Variable vx(x), vw(w);
+  for (auto _ : state) {
+    auto y = nn::conv2d(vx, vw, autograd::Variable(), 1, 1);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+  parallel::set_num_threads(1);
+}
+BENCHMARK(BM_Conv2dForwardThreaded)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4});
 
 static void BM_Conv2dTrainStep(benchmark::State& state) {
   const std::int64_t c = state.range(0);

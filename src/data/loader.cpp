@@ -1,25 +1,52 @@
 #include "data/loader.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+
+#include "parallel/parallel_for.h"
 
 namespace mlperf::data {
 
 using tensor::Tensor;
 
+/// One double-buffer slot: the producer fills it on a pool thread (or inline
+/// when no pool exists) and flips `ready`; the consumer blocks on `cv`.
+struct ImageLoader::Inflight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  ImageBatch batch;
+  std::exception_ptr error;
+};
+
 ImageLoader::ImageLoader(const ReformattedImageSet& set, std::int64_t batch_size,
-                         const AugmentationPipeline* augment, tensor::Rng& rng, bool drop_last)
+                         const AugmentationPipeline* augment, tensor::Rng& rng, bool drop_last,
+                         bool prefetch)
     : set_(&set), batch_size_(batch_size), augment_(augment), rng_(&rng),
-      drop_last_(drop_last) {
+      drop_last_(drop_last), prefetch_(prefetch) {
   if (batch_size <= 0) throw std::invalid_argument("ImageLoader: batch_size must be > 0");
   start_epoch();
 }
 
+ImageLoader::~ImageLoader() { wait_inflight(); }
+
 void ImageLoader::start_epoch() {
+  wait_inflight();  // a pending batch still reads order_; let it finish
+  inflight_.reset();
   order_ = rng_->permutation(static_cast<std::size_t>(set_->size()));
   cursor_ = 0;
   limit_ = set_->size();
   if (drop_last_) limit_ -= limit_ % batch_size_;
+  if (prefetch_) schedule_next();
+}
+
+bool ImageLoader::has_next() const {
+  if (prefetch_) return inflight_ != nullptr;
+  return cursor_ < limit_;
 }
 
 std::int64_t ImageLoader::batches_per_epoch() const {
@@ -27,11 +54,10 @@ std::int64_t ImageLoader::batches_per_epoch() const {
   return (set_->size() + batch_size_ - 1) / batch_size_;
 }
 
-ImageBatch ImageLoader::next() {
-  if (!has_next()) throw std::logic_error("ImageLoader: epoch exhausted");
-  const std::int64_t end = std::min(cursor_ + batch_size_, limit_);
-  const std::int64_t n = end - cursor_;
-  const ImageExample& first = set_->get(static_cast<std::int64_t>(order_[static_cast<std::size_t>(cursor_)]));
+ImageBatch ImageLoader::assemble(std::int64_t begin, std::int64_t end, tensor::Rng& rng) const {
+  const std::int64_t n = end - begin;
+  const ImageExample& first =
+      set_->get(static_cast<std::int64_t>(order_[static_cast<std::size_t>(begin)]));
   const auto& ishape = first.image.shape();
   ImageBatch batch;
   batch.images = Tensor({n, ishape[0], ishape[1], ishape[2]});
@@ -39,12 +65,65 @@ ImageBatch ImageLoader::next() {
   const std::int64_t img_numel = first.image.numel();
   for (std::int64_t b = 0; b < n; ++b) {
     const ImageExample& ex =
-        set_->get(static_cast<std::int64_t>(order_[static_cast<std::size_t>(cursor_ + b)]));
-    Tensor img = augment_ ? augment_->apply(ex.image, *rng_) : ex.image;
+        set_->get(static_cast<std::int64_t>(order_[static_cast<std::size_t>(begin + b)]));
+    Tensor img = augment_ ? augment_->apply(ex.image, rng) : ex.image;
     if (img.numel() != img_numel) throw std::logic_error("ImageLoader: inconsistent image size");
     std::copy(img.vec().begin(), img.vec().end(), batch.images.vec().begin() + b * img_numel);
     batch.labels[static_cast<std::size_t>(b)] = ex.label;
   }
+  return batch;
+}
+
+void ImageLoader::schedule_next() {
+  inflight_.reset();
+  if (cursor_ >= limit_) return;
+  const std::int64_t begin = cursor_;
+  const std::int64_t end = std::min(cursor_ + batch_size_, limit_);
+  cursor_ = end;
+  // The batch's augmentation stream is split off on this (consumer) thread,
+  // in batch order, so the draws are a function of the seed alone — never of
+  // how the producer task is scheduled.
+  tensor::Rng batch_rng = augment_ ? rng_->split() : tensor::Rng(0);
+  auto job = std::make_shared<Inflight>();
+  inflight_ = job;
+  auto produce = [this, job, begin, end, batch_rng]() mutable {
+    try {
+      job->batch = assemble(begin, end, batch_rng);
+    } catch (...) {
+      job->error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->ready = true;
+    }
+    job->cv.notify_all();
+  };
+  parallel::ThreadPool* pool = parallel::global_pool();
+  if (pool)
+    pool->enqueue(std::move(produce));
+  else
+    produce();
+}
+
+void ImageLoader::wait_inflight() const {
+  if (!inflight_) return;
+  std::unique_lock<std::mutex> lock(inflight_->mu);
+  inflight_->cv.wait(lock, [this] { return inflight_->ready; });
+}
+
+ImageBatch ImageLoader::next() {
+  if (!has_next()) throw std::logic_error("ImageLoader: epoch exhausted");
+  if (prefetch_) {
+    wait_inflight();
+    std::shared_ptr<Inflight> job = std::move(inflight_);
+    schedule_next();  // overlap batch k+1 with the consumer's work on batch k
+    if (job->error) std::rethrow_exception(job->error);
+    return std::move(job->batch);
+  }
+  // Non-prefetch path: thread the run Rng through every example, exactly as
+  // the original single-threaded loader did.
+  const std::int64_t end = std::min(cursor_ + batch_size_, limit_);
+  ImageBatch batch = assemble(cursor_, end, *rng_);
   cursor_ = end;
   return batch;
 }

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <memory>
+
 #include "data/augment.h"
 #include "data/dataset.h"
+#include "parallel/thread_pool.h"
 
 namespace mlperf::data {
 
@@ -17,31 +20,61 @@ struct ImageBatch {
 /// lists "random data traversal" as a variance source — fixing the seed fixes
 /// the traversal). Augmentation runs per example at load time, i.e. inside
 /// the timed portion of training (paper §3.2.1).
+///
+/// With `prefetch` enabled the loader double-buffers: batch k+1 is augmented
+/// and assembled on the global parallel::ThreadPool while batch k trains.
+/// The shuffle order is unchanged, and each batch's augmentation draws come
+/// from a child Rng split off the run Rng on the consumer thread, in batch
+/// order — so a fixed seed yields the same batches at any thread count (and
+/// with no pool at all), just not the same draws as the non-prefetch path,
+/// which threads one Rng through every example.
 class ImageLoader {
  public:
   ImageLoader(const ReformattedImageSet& set, std::int64_t batch_size,
-              const AugmentationPipeline* augment, tensor::Rng& rng, bool drop_last = false);
+              const AugmentationPipeline* augment, tensor::Rng& rng, bool drop_last = false,
+              bool prefetch = false);
 
-  /// Start a new epoch (reshuffles).
+  /// Waits for any in-flight prefetch before tearing down.
+  ~ImageLoader();
+
+  ImageLoader(const ImageLoader&) = delete;
+  ImageLoader& operator=(const ImageLoader&) = delete;
+
+  /// Start a new epoch (reshuffles; discards any in-flight prefetched batch).
   void start_epoch();
 
   /// True if another batch is available this epoch.
-  bool has_next() const { return cursor_ < limit_; }
+  bool has_next() const;
 
   /// Next minibatch; the last one may be smaller unless drop_last.
   ImageBatch next();
 
   std::int64_t batches_per_epoch() const;
 
+  bool prefetch_enabled() const { return prefetch_; }
+
  private:
+  struct Inflight;
+
+  /// Kick off assembly of the next batch (prefetch mode). Advances cursor_.
+  void schedule_next();
+  void wait_inflight() const;
+  /// Build the batch for shuffle positions [begin, end); `rng` drives the
+  /// augmentation draws (ignored without an augmentation pipeline). Reads
+  /// only epoch state that is frozen while a batch is in flight, so it is
+  /// safe to run off-thread with a private rng.
+  ImageBatch assemble(std::int64_t begin, std::int64_t end, tensor::Rng& rng) const;
+
   const ReformattedImageSet* set_;
   std::int64_t batch_size_;
   const AugmentationPipeline* augment_;  // nullptr = no augmentation (eval)
   tensor::Rng* rng_;
   bool drop_last_;
+  bool prefetch_;
   std::vector<std::size_t> order_;
   std::int64_t cursor_ = 0;
   std::int64_t limit_ = 0;
+  std::shared_ptr<Inflight> inflight_;  // non-null = one batch pending/ready
 };
 
 /// Assemble a batch tensor from (already augmented) examples.

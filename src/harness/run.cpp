@@ -1,9 +1,12 @@
 #include "harness/run.h"
 
+#include "parallel/parallel_for.h"
+
 namespace mlperf::harness {
 
 RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& target,
                          const RunOptions& options, const core::Clock& clock) {
+  parallel::set_num_threads(options.num_threads);
   RunOutcome outcome;
   core::TrainingTimer timer(clock, outcome.log, options.model_creation_cap_ms);
   core::MlLog& log = outcome.log;

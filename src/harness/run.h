@@ -27,6 +27,12 @@ struct RunOptions {
   /// Evaluate every N epochs (quality is "evaluated at prescribed
   /// intervals", §4.1). 1 = every epoch.
   std::int64_t eval_interval = 1;
+  /// Intra-op worker threads for the tensor kernels and the prefetching
+  /// loader (parallel::set_num_threads). 1 = the exact single-threaded
+  /// pre-parallelism execution. A system knob, not a hyperparameter: the
+  /// kernels partition work so the trained model is bitwise independent of
+  /// this value (paper §2.2.3 treats nondeterminism as a variance source).
+  std::int64_t num_threads = 1;
 };
 
 /// The outcome of one training session.

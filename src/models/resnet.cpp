@@ -101,7 +101,8 @@ void ResNetWorkload::build_model(std::uint64_t seed) {
 void ResNetWorkload::train_epoch() {
   if (!data_prepared_ || !model_) throw std::logic_error("ResNetWorkload: not prepared");
   model_->set_training(true);
-  data::ImageLoader loader(splits_.train, config_.batch_size, &augment_, rng_);
+  data::ImageLoader loader(splits_.train, config_.batch_size, &augment_, rng_,
+                           /*drop_last=*/false, config_.prefetch_loader);
   const bool quantized = config_.weight_format != numerics::Format::kFP32;
   std::vector<autograd::Variable> params = model_->parameters();
   while (loader.has_next()) {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "nn/module.h"
+#include "parallel/parallel_for.h"
 
 namespace mlperf::nn {
 
@@ -104,20 +105,26 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
   const std::int64_t col_rows = d.c * d.kh * d.kw;
   const std::int64_t col_cols = d.oh * d.ow;
   Tensor out({d.n, d.o, d.oh, d.ow});
-  std::vector<float> cols(static_cast<std::size_t>(col_rows * col_cols));
-  for (std::int64_t s = 0; s < d.n; ++s) {
-    im2col(input.value().data() + s * d.c * d.h * d.w, d, stride, padding, cols.data());
-    tensor::gemm_accumulate(weight.value().data(), cols.data(),
-                            out.data() + s * d.o * col_cols, d.o, col_rows, col_cols);
-  }
-  if (has_bias) {
-    for (std::int64_t s = 0; s < d.n; ++s)
-      for (std::int64_t o = 0; o < d.o; ++o) {
-        const float b = bias.value()[o];
-        float* dst = out.data() + (s * d.o + o) * col_cols;
-        for (std::int64_t i = 0; i < col_cols; ++i) dst[i] += b;
-      }
-  }
+  // Split over samples: each sample's output slab is written by exactly one
+  // task with the sequential kernel, so results are bitwise identical at any
+  // thread count. The im2col scratch buffer is per-task.
+  parallel::parallel_for(
+      parallel::grain_for(d.o * col_rows * col_cols), d.n,
+      [&](std::int64_t s_begin, std::int64_t s_end) {
+        std::vector<float> cols(static_cast<std::size_t>(col_rows * col_cols));
+        for (std::int64_t s = s_begin; s < s_end; ++s) {
+          im2col(input.value().data() + s * d.c * d.h * d.w, d, stride, padding, cols.data());
+          tensor::gemm_accumulate(weight.value().data(), cols.data(),
+                                  out.data() + s * d.o * col_cols, d.o, col_rows, col_cols);
+          if (has_bias) {
+            for (std::int64_t o = 0; o < d.o; ++o) {
+              const float b = bias.value()[o];
+              float* dst = out.data() + (s * d.o + o) * col_cols;
+              for (std::int64_t i = 0; i < col_cols; ++i) dst[i] += b;
+            }
+          }
+        }
+      });
 
   auto in_node = input.node();
   auto w_node = weight.node();
@@ -129,39 +136,62 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
       [in_node, w_node, b_node, d, stride, padding, has_bias](const Tensor& g) {
         const std::int64_t col_rows = d.c * d.kh * d.kw;
         const std::int64_t col_cols = d.oh * d.ow;
-        std::vector<float> cols(static_cast<std::size_t>(col_rows * col_cols));
+        const bool need_w = w_node->requires_grad;
+        const bool need_x = in_node->requires_grad;
         Tensor dW({d.o, d.c, d.kh, d.kw});
         Tensor dX(in_node->value.shape());
-        std::vector<float> dcols(static_cast<std::size_t>(col_rows * col_cols));
+        const std::int64_t wnumel = dW.numel();
+        // dW accumulates across samples, so each sample gets a private
+        // partial (computed identically at any thread count) and the
+        // partials are summed in ascending sample order below — the exact
+        // float-add sequence of the old sequential loop.
+        std::vector<float> dw_partials(
+            static_cast<std::size_t>(need_w ? d.n * wnumel : 0), 0.0f);
         // Transposed weight [col_rows, O] for dX GEMM.
-        Tensor wt =
-            w_node->value.reshape({d.o, col_rows}).transpose2d();
-        for (std::int64_t s = 0; s < d.n; ++s) {
-          const float* gs = g.data() + s * d.o * col_cols;
-          if (w_node->requires_grad) {
-            im2col(in_node->value.data() + s * d.c * d.h * d.w, d, stride, padding, cols.data());
-            // dW[o, col_rows] += g[o, col_cols] * cols^T[col_cols, col_rows]
-            // Implemented as accumulating over the col axis directly.
-            for (std::int64_t o = 0; o < d.o; ++o) {
-              const float* grow = gs + o * col_cols;
-              float* wrow = dW.data() + o * col_rows;
-              for (std::int64_t r = 0; r < col_rows; ++r) {
-                const float* crow = cols.data() + r * col_cols;
-                double acc = 0.0;
-                for (std::int64_t q = 0; q < col_cols; ++q) acc += grow[q] * crow[q];
-                wrow[r] += static_cast<float>(acc);
+        Tensor wt;
+        if (need_x) wt = w_node->value.reshape({d.o, col_rows}).transpose2d();
+        parallel::parallel_for(
+            parallel::grain_for(d.o * col_rows * col_cols), d.n,
+            [&](std::int64_t s_begin, std::int64_t s_end) {
+              std::vector<float> cols(
+                  static_cast<std::size_t>(need_w ? col_rows * col_cols : 0));
+              std::vector<float> dcols(
+                  static_cast<std::size_t>(need_x ? col_rows * col_cols : 0));
+              for (std::int64_t s = s_begin; s < s_end; ++s) {
+                const float* gs = g.data() + s * d.o * col_cols;
+                if (need_w) {
+                  im2col(in_node->value.data() + s * d.c * d.h * d.w, d, stride, padding,
+                         cols.data());
+                  // dW_s[o, col_rows] = g_s[o, col_cols] * cols^T[col_cols, col_rows]
+                  float* dws = dw_partials.data() + s * wnumel;
+                  for (std::int64_t o = 0; o < d.o; ++o) {
+                    const float* grow = gs + o * col_cols;
+                    float* wrow = dws + o * col_rows;
+                    for (std::int64_t r = 0; r < col_rows; ++r) {
+                      const float* crow = cols.data() + r * col_cols;
+                      double acc = 0.0;
+                      for (std::int64_t q = 0; q < col_cols; ++q) acc += grow[q] * crow[q];
+                      wrow[r] = static_cast<float>(acc);
+                    }
+                  }
+                }
+                if (need_x) {
+                  std::fill(dcols.begin(), dcols.end(), 0.0f);
+                  tensor::gemm_accumulate(wt.data(), gs, dcols.data(), col_rows, d.o, col_cols);
+                  col2im_accumulate(dcols.data(), d, stride, padding,
+                                    dX.data() + s * d.c * d.h * d.w);
+                }
               }
-            }
+            });
+        if (need_w) {
+          for (std::int64_t s = 0; s < d.n; ++s) {
+            const float* dws = dw_partials.data() + s * wnumel;
+            float* dst = dW.data();
+            for (std::int64_t i = 0; i < wnumel; ++i) dst[i] += dws[i];
           }
-          if (in_node->requires_grad) {
-            std::fill(dcols.begin(), dcols.end(), 0.0f);
-            tensor::gemm_accumulate(wt.data(), gs, dcols.data(), col_rows, d.o, col_cols);
-            col2im_accumulate(dcols.data(), d, stride, padding,
-                              dX.data() + s * d.c * d.h * d.w);
-          }
+          w_node->accumulate_grad(dW);
         }
-        if (w_node->requires_grad) w_node->accumulate_grad(dW);
-        if (in_node->requires_grad) in_node->accumulate_grad(dX);
+        if (need_x) in_node->accumulate_grad(dX);
         if (has_bias && b_node->requires_grad) {
           Tensor db({d.o});
           for (std::int64_t s = 0; s < d.n; ++s)
@@ -186,33 +216,45 @@ Variable max_pool2d(const Variable& input, std::int64_t kernel, std::int64_t str
   Tensor out({n, c, oh, ow});
   auto argmax = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(n * c * oh * ow));
-  for (std::int64_t s = 0; s < n * c; ++s) {
-    const float* plane = x.data() + s * h * w;
-    for (std::int64_t oi = 0; oi < oh; ++oi)
-      for (std::int64_t oj = 0; oj < ow; ++oj) {
-        float best = -std::numeric_limits<float>::infinity();
-        std::int64_t best_idx = 0;
-        for (std::int64_t ki = 0; ki < kernel; ++ki)
-          for (std::int64_t kj = 0; kj < kernel; ++kj) {
-            const std::int64_t ii = oi * stride + ki, jj = oj * stride + kj;
-            const float v = plane[ii * w + jj];
-            if (v > best) {
-              best = v;
-              best_idx = ii * w + jj;
+  // Split over (sample, channel) planes: writes to out/argmax are disjoint.
+  parallel::parallel_for(
+      parallel::grain_for(oh * ow * kernel * kernel), n * c,
+      [&](std::int64_t s_begin, std::int64_t s_end) {
+        for (std::int64_t s = s_begin; s < s_end; ++s) {
+          const float* plane = x.data() + s * h * w;
+          for (std::int64_t oi = 0; oi < oh; ++oi)
+            for (std::int64_t oj = 0; oj < ow; ++oj) {
+              float best = -std::numeric_limits<float>::infinity();
+              std::int64_t best_idx = 0;
+              for (std::int64_t ki = 0; ki < kernel; ++ki)
+                for (std::int64_t kj = 0; kj < kernel; ++kj) {
+                  const std::int64_t ii = oi * stride + ki, jj = oj * stride + kj;
+                  const float v = plane[ii * w + jj];
+                  if (v > best) {
+                    best = v;
+                    best_idx = ii * w + jj;
+                  }
+                }
+              const std::int64_t oidx = (s * oh + oi) * ow + oj;
+              out[oidx] = best;
+              (*argmax)[static_cast<std::size_t>(oidx)] = s * h * w + best_idx;
             }
-          }
-        const std::int64_t oidx = (s * oh + oi) * ow + oj;
-        out[oidx] = best;
-        (*argmax)[static_cast<std::size_t>(oidx)] = s * h * w + best_idx;
-      }
-  }
+        }
+      });
   auto in_node = input.node();
-  return Variable::from_op(std::move(out), {input}, [in_node, argmax](const Tensor& g) {
-    Tensor dx(in_node->value.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i)
-      dx[(*argmax)[static_cast<std::size_t>(i)]] += g[i];
-    in_node->accumulate_grad(dx);
-  });
+  const std::int64_t planes = n * c, plane_out = oh * ow;
+  return Variable::from_op(
+      std::move(out), {input}, [in_node, argmax, planes, plane_out](const Tensor& g) {
+        Tensor dx(in_node->value.shape());
+        // A plane's argmax indices all land in that plane of dx, so the
+        // scatter-add is race-free when split over planes.
+        parallel::parallel_for(
+            parallel::grain_for(plane_out), planes, [&](std::int64_t s_begin, std::int64_t s_end) {
+              for (std::int64_t i = s_begin * plane_out; i < s_end * plane_out; ++i)
+                dx[(*argmax)[static_cast<std::size_t>(i)]] += g[i];
+            });
+        in_node->accumulate_grad(dx);
+      });
 }
 
 Variable avg_pool2d(const Variable& input, std::int64_t kernel, std::int64_t stride) {
@@ -224,32 +266,40 @@ Variable avg_pool2d(const Variable& input, std::int64_t kernel, std::int64_t str
   if (oh <= 0 || ow <= 0) throw std::invalid_argument("avg_pool2d: output would be empty");
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
   Tensor out({n, c, oh, ow});
-  for (std::int64_t s = 0; s < n * c; ++s) {
-    const float* plane = x.data() + s * h * w;
-    for (std::int64_t oi = 0; oi < oh; ++oi)
-      for (std::int64_t oj = 0; oj < ow; ++oj) {
-        double acc = 0.0;
-        for (std::int64_t ki = 0; ki < kernel; ++ki)
-          for (std::int64_t kj = 0; kj < kernel; ++kj)
-            acc += plane[(oi * stride + ki) * w + (oj * stride + kj)];
-        out[(s * oh + oi) * ow + oj] = static_cast<float>(acc) * inv;
-      }
-  }
+  parallel::parallel_for(
+      parallel::grain_for(oh * ow * kernel * kernel), n * c,
+      [&](std::int64_t s_begin, std::int64_t s_end) {
+        for (std::int64_t s = s_begin; s < s_end; ++s) {
+          const float* plane = x.data() + s * h * w;
+          for (std::int64_t oi = 0; oi < oh; ++oi)
+            for (std::int64_t oj = 0; oj < ow; ++oj) {
+              double acc = 0.0;
+              for (std::int64_t ki = 0; ki < kernel; ++ki)
+                for (std::int64_t kj = 0; kj < kernel; ++kj)
+                  acc += plane[(oi * stride + ki) * w + (oj * stride + kj)];
+              out[(s * oh + oi) * ow + oj] = static_cast<float>(acc) * inv;
+            }
+        }
+      });
   auto in_node = input.node();
   return Variable::from_op(
       std::move(out), {input}, [in_node, kernel, stride, inv, h, w, oh, ow](const Tensor& g) {
         Tensor dx(in_node->value.shape());
         const std::int64_t planes = dx.numel() / (h * w);
-        for (std::int64_t s = 0; s < planes; ++s) {
-          float* dplane = dx.data() + s * h * w;
-          for (std::int64_t oi = 0; oi < oh; ++oi)
-            for (std::int64_t oj = 0; oj < ow; ++oj) {
-              const float gv = g[(s * oh + oi) * ow + oj] * inv;
-              for (std::int64_t ki = 0; ki < kernel; ++ki)
-                for (std::int64_t kj = 0; kj < kernel; ++kj)
-                  dplane[(oi * stride + ki) * w + (oj * stride + kj)] += gv;
-            }
-        }
+        parallel::parallel_for(
+            parallel::grain_for(oh * ow * kernel * kernel), planes,
+            [&](std::int64_t s_begin, std::int64_t s_end) {
+              for (std::int64_t s = s_begin; s < s_end; ++s) {
+                float* dplane = dx.data() + s * h * w;
+                for (std::int64_t oi = 0; oi < oh; ++oi)
+                  for (std::int64_t oj = 0; oj < ow; ++oj) {
+                    const float gv = g[(s * oh + oi) * ow + oj] * inv;
+                    for (std::int64_t ki = 0; ki < kernel; ++ki)
+                      for (std::int64_t kj = 0; kj < kernel; ++kj)
+                        dplane[(oi * stride + ki) * w + (oj * stride + kj)] += gv;
+                  }
+              }
+            });
         in_node->accumulate_grad(dx);
       });
 }
@@ -260,20 +310,26 @@ Variable global_avg_pool(const Variable& input) {
   const std::int64_t n = x.shape()[0], c = x.shape()[1], hw = x.shape()[2] * x.shape()[3];
   const float inv = 1.0f / static_cast<float>(hw);
   Tensor out({n, c});
-  for (std::int64_t s = 0; s < n * c; ++s) {
-    const float* plane = x.data() + s * hw;
-    double acc = 0.0;
-    for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
-    out[s] = static_cast<float>(acc) * inv;
-  }
+  parallel::parallel_for(
+      parallel::grain_for(hw), n * c, [&](std::int64_t s_begin, std::int64_t s_end) {
+        for (std::int64_t s = s_begin; s < s_end; ++s) {
+          const float* plane = x.data() + s * hw;
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+          out[s] = static_cast<float>(acc) * inv;
+        }
+      });
   auto in_node = input.node();
   return Variable::from_op(std::move(out), {input}, [in_node, hw, inv](const Tensor& g) {
     Tensor dx(in_node->value.shape());
-    for (std::int64_t s = 0; s < g.numel(); ++s) {
-      const float gv = g[s] * inv;
-      float* plane = dx.data() + s * hw;
-      for (std::int64_t i = 0; i < hw; ++i) plane[i] += gv;
-    }
+    parallel::parallel_for(
+        parallel::grain_for(hw), g.numel(), [&](std::int64_t s_begin, std::int64_t s_end) {
+          for (std::int64_t s = s_begin; s < s_end; ++s) {
+            const float gv = g[s] * inv;
+            float* plane = dx.data() + s * hw;
+            for (std::int64_t i = 0; i < hw; ++i) plane[i] += gv;
+          }
+        });
     in_node->accumulate_grad(dx);
   });
 }

@@ -1,0 +1,56 @@
+#include "parallel/thread_pool.h"
+
+#include <stdexcept>
+
+namespace mlperf::parallel {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::int64_t num_workers) {
+  if (num_workers < 0) throw std::invalid_argument("ThreadPool: num_workers must be >= 0");
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (std::int64_t i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::logic_error("ThreadPool: enqueue after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // only reachable when stop_: drain-then-exit
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+}  // namespace mlperf::parallel

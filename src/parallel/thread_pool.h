@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlperf::parallel {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Deliberately work-stealing-free: tasks run in submission order on whichever
+/// worker picks them up, and all determinism guarantees in this module come
+/// from *what* each task computes (static chunking, ordered combines), never
+/// from scheduling. Tasks must not throw — callers that need error propagation
+/// (parallel_for, the prefetching loader) catch inside the task and surface
+/// the exception on the consuming thread.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is allowed: enqueue then runs inline).
+  explicit ThreadPool(std::int64_t num_workers);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::int64_t num_workers() const { return static_cast<std::int64_t>(workers_.size()); }
+
+  /// Enqueue a task. With zero workers the task runs inline on the caller.
+  void enqueue(std::function<void()> task);
+
+  /// True when called from inside one of this module's pool worker threads.
+  /// parallel_for uses it to run nested parallelism inline instead of
+  /// deadlocking on its own pool.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mlperf::parallel

@@ -6,11 +6,19 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "parallel/parallel_for.h"
+
 namespace mlperf::tensor {
 
 namespace {
 
 [[noreturn]] void fail(const std::string& msg) { throw std::invalid_argument("Tensor: " + msg); }
+
+// Elementwise kernels split at this many elements per subrange; ordered
+// reductions use fixed chunks of this size (boundaries never depend on the
+// thread count, so float accumulation is bitwise stable — see parallel_reduce).
+constexpr std::int64_t kElemGrain = std::int64_t{1} << 15;
+constexpr std::int64_t kReduceGrain = std::int64_t{1} << 16;
 
 std::string shape_str(const Shape& s) {
   std::ostringstream os;
@@ -135,18 +143,19 @@ Tensor Tensor::permute(const std::vector<std::int64_t>& dims) const {
   const auto in_st = strides();
   const auto out_st = out.strides();
   const std::int64_t n = numel();
-  std::vector<std::int64_t> idx(dims.size(), 0);
-  for (std::int64_t flat = 0; flat < n; ++flat) {
-    // Decompose flat index of the OUTPUT, map back to input.
-    std::int64_t rem = flat;
-    std::int64_t src = 0;
-    for (std::size_t i = 0; i < dims.size(); ++i) {
-      const std::int64_t coord = rem / out_st[i];
-      rem %= out_st[i];
-      src += coord * in_st[static_cast<std::size_t>(dims[i])];
+  parallel::parallel_for(kElemGrain, n, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t flat = begin; flat < end; ++flat) {
+      // Decompose flat index of the OUTPUT, map back to input.
+      std::int64_t rem = flat;
+      std::int64_t src = 0;
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        const std::int64_t coord = rem / out_st[i];
+        rem %= out_st[i];
+        src += coord * in_st[static_cast<std::size_t>(dims[i])];
+      }
+      out.data_[static_cast<std::size_t>(flat)] = data_[static_cast<std::size_t>(src)];
     }
-    out.data_[static_cast<std::size_t>(flat)] = data_[static_cast<std::size_t>(src)];
-  }
+  });
   return out;
 }
 
@@ -203,8 +212,11 @@ Shape Tensor::broadcast_shape(const Shape& a, const Shape& b) {
 Tensor Tensor::binary(const Tensor& o, const std::function<float(float, float)>& f) const {
   if (shape_ == o.shape_) {  // fast path
     Tensor out(shape_);
-    const std::size_t n = data_.size();
-    for (std::size_t i = 0; i < n; ++i) out.data_[i] = f(data_[i], o.data_[i]);
+    parallel::parallel_for(kElemGrain, numel(), [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i)
+        out.data_[static_cast<std::size_t>(i)] =
+            f(data_[static_cast<std::size_t>(i)], o.data_[static_cast<std::size_t>(i)]);
+    });
     return out;
   }
   const Shape out_shape = broadcast_shape(shape_, o.shape_);
@@ -227,17 +239,19 @@ Tensor Tensor::binary(const Tensor& o, const std::function<float(float, float)>&
   const auto sb = bc_strides(o);
   const auto so = out.strides();
   const std::int64_t n = out.numel();
-  for (std::int64_t flat = 0; flat < n; ++flat) {
-    std::int64_t rem = flat, ia = 0, ib = 0;
-    for (std::size_t d = 0; d < rank; ++d) {
-      const std::int64_t coord = rem / so[d];
-      rem %= so[d];
-      ia += coord * sa[d];
-      ib += coord * sb[d];
+  parallel::parallel_for(kElemGrain, n, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t flat = begin; flat < end; ++flat) {
+      std::int64_t rem = flat, ia = 0, ib = 0;
+      for (std::size_t d = 0; d < rank; ++d) {
+        const std::int64_t coord = rem / so[d];
+        rem %= so[d];
+        ia += coord * sa[d];
+        ib += coord * sb[d];
+      }
+      out.data_[static_cast<std::size_t>(flat)] =
+          f(data_[static_cast<std::size_t>(ia)], o.data_[static_cast<std::size_t>(ib)]);
     }
-    out.data_[static_cast<std::size_t>(flat)] =
-        f(data_[static_cast<std::size_t>(ia)], o.data_[static_cast<std::size_t>(ib)]);
-  }
+  });
   return out;
 }
 
@@ -283,7 +297,10 @@ Tensor Tensor::mul_scalar(float s) const {
 
 Tensor Tensor::map(const std::function<float(float)>& f) const {
   Tensor out(shape_);
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+  parallel::parallel_for(kElemGrain, numel(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i)
+      out.data_[static_cast<std::size_t>(i)] = f(data_[static_cast<std::size_t>(i)]);
+  });
   return out;
 }
 
@@ -316,8 +333,14 @@ Tensor Tensor::clamp(float lo, float hi) const {
 }
 
 float Tensor::sum() const {
-  double s = 0.0;
-  for (float v : data_) s += v;
+  const double s = parallel::parallel_reduce(
+      kReduceGrain, numel(), 0.0,
+      [&](std::int64_t begin, std::int64_t end) {
+        double a = 0.0;
+        for (std::int64_t i = begin; i < end; ++i) a += data_[static_cast<std::size_t>(i)];
+        return a;
+      },
+      [](double a, double b) { return a + b; });
   return static_cast<float>(s);
 }
 
@@ -328,12 +351,23 @@ float Tensor::mean() const {
 
 float Tensor::max() const {
   if (data_.empty()) fail("max(): empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  // min/max combines are exactly associative, so any chunking is bit-stable.
+  return parallel::parallel_reduce(
+      kReduceGrain, numel(), -std::numeric_limits<float>::infinity(),
+      [&](std::int64_t begin, std::int64_t end) {
+        return *std::max_element(data_.begin() + begin, data_.begin() + end);
+      },
+      [](float a, float b) { return std::max(a, b); });
 }
 
 float Tensor::min() const {
   if (data_.empty()) fail("min(): empty tensor");
-  return *std::min_element(data_.begin(), data_.end());
+  return parallel::parallel_reduce(
+      kReduceGrain, numel(), std::numeric_limits<float>::infinity(),
+      [&](std::int64_t begin, std::int64_t end) {
+        return *std::min_element(data_.begin() + begin, data_.begin() + end);
+      },
+      [](float a, float b) { return std::min(a, b); });
 }
 
 std::int64_t Tensor::argmax() const {
@@ -367,14 +401,18 @@ Tensor reduce_axis(const Tensor& t, std::int64_t axis, bool keepdim, Init init, 
   Tensor out(out_shape);
   const float* src = t.data();
   float* dst = out.data();
-  for (std::int64_t p = 0; p < pre; ++p) {
-    for (std::int64_t q = 0; q < post; ++q) {
-      auto acc = init();
-      for (std::int64_t a = 0; a < ax; ++a)
-        acc = step(acc, src[(p * ax + a) * post + q]);
-      dst[p * post + q] = fin(acc, ax);
-    }
-  }
+  // Each output element folds its axis in the original order, so splitting
+  // over output elements is bitwise identical at any thread count.
+  parallel::parallel_for(
+      parallel::grain_for(ax), pre * post, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const std::int64_t p = r / post, q = r % post;
+          auto acc = init();
+          for (std::int64_t a = 0; a < ax; ++a)
+            acc = step(acc, src[(p * ax + a) * post + q]);
+          dst[r] = fin(acc, ax);
+        }
+      });
   return out;
 }
 }  // namespace
@@ -406,11 +444,14 @@ std::vector<std::int64_t> Tensor::argmax_last() const {
   if (last == 0) fail("argmax_last(): empty last axis");
   const std::int64_t rows = numel() / last;
   std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = data() + r * last;
-    out[static_cast<std::size_t>(r)] =
-        static_cast<std::int64_t>(std::max_element(row, row + last) - row);
-  }
+  parallel::parallel_for(
+      parallel::grain_for(last), rows, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const float* row = data() + r * last;
+          out[static_cast<std::size_t>(r)] =
+              static_cast<std::int64_t>(std::max_element(row, row + last) - row);
+        }
+      });
   return out;
 }
 
@@ -440,8 +481,15 @@ Tensor Tensor::matmul(const Tensor& o) const {
   if (ndim() != 2 || o.ndim() != 2) fail("matmul(): expects rank-2 operands");
   if (shape_[1] != o.shape_[0])
     fail("matmul(): inner extent mismatch " + shape_str(shape_) + " x " + shape_str(o.shape_));
-  Tensor out({shape_[0], o.shape_[1]});
-  gemm_accumulate(data(), o.data(), out.data(), shape_[0], shape_[1], o.shape_[1]);
+  const std::int64_t m = shape_[0], k = shape_[1], n = o.shape_[1];
+  Tensor out({m, n});
+  // Split over rows of A/C: each row of C accumulates its k-products in the
+  // same order as the sequential kernel, so any row partition is bitwise
+  // identical to the single-threaded result.
+  parallel::parallel_for(
+      parallel::grain_for(k * n), m, [&](std::int64_t begin, std::int64_t end) {
+        gemm_accumulate(data() + begin * k, o.data(), out.data() + begin * n, end - begin, k, n);
+      });
   return out;
 }
 
@@ -451,8 +499,12 @@ Tensor Tensor::bmm(const Tensor& o) const {
     fail("bmm(): shape mismatch " + shape_str(shape_) + " x " + shape_str(o.shape_));
   const std::int64_t b = shape_[0], m = shape_[1], k = shape_[2], n = o.shape_[2];
   Tensor out({b, m, n});
-  for (std::int64_t i = 0; i < b; ++i)
-    gemm_accumulate(data() + i * m * k, o.data() + i * k * n, out.data() + i * m * n, m, k, n);
+  parallel::parallel_for(
+      parallel::grain_for(m * k * n), b, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+          gemm_accumulate(data() + i * m * k, o.data() + i * k * n, out.data() + i * m * n, m,
+                          k, n);
+      });
   return out;
 }
 
@@ -461,18 +513,21 @@ Tensor Tensor::softmax_last() const {
   const std::int64_t last = shape_.back();
   const std::int64_t rows = numel() / std::max<std::int64_t>(last, 1);
   Tensor out(shape_);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* src = data() + r * last;
-    float* dst = out.data() + r * last;
-    const float mx = *std::max_element(src, src + last);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < last; ++j) {
-      dst[j] = std::exp(src[j] - mx);
-      denom += dst[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t j = 0; j < last; ++j) dst[j] *= inv;
-  }
+  parallel::parallel_for(
+      parallel::grain_for(4 * last), rows, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const float* src = data() + r * last;
+          float* dst = out.data() + r * last;
+          const float mx = *std::max_element(src, src + last);
+          double denom = 0.0;
+          for (std::int64_t j = 0; j < last; ++j) {
+            dst[j] = std::exp(src[j] - mx);
+            denom += dst[j];
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (std::int64_t j = 0; j < last; ++j) dst[j] *= inv;
+        }
+      });
   return out;
 }
 
@@ -481,21 +536,33 @@ Tensor Tensor::log_softmax_last() const {
   const std::int64_t last = shape_.back();
   const std::int64_t rows = numel() / std::max<std::int64_t>(last, 1);
   Tensor out(shape_);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* src = data() + r * last;
-    float* dst = out.data() + r * last;
-    const float mx = *std::max_element(src, src + last);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < last; ++j) denom += std::exp(src[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(denom));
-    for (std::int64_t j = 0; j < last; ++j) dst[j] = src[j] - lse;
-  }
+  parallel::parallel_for(
+      parallel::grain_for(4 * last), rows, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const float* src = data() + r * last;
+          float* dst = out.data() + r * last;
+          const float mx = *std::max_element(src, src + last);
+          double denom = 0.0;
+          for (std::int64_t j = 0; j < last; ++j) denom += std::exp(src[j] - mx);
+          const float lse = mx + static_cast<float>(std::log(denom));
+          for (std::int64_t j = 0; j < last; ++j) dst[j] = src[j] - lse;
+        }
+      });
   return out;
 }
 
 float Tensor::l2_norm_sq() const {
-  double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  const double s = parallel::parallel_reduce(
+      kReduceGrain, numel(), 0.0,
+      [&](std::int64_t begin, std::int64_t end) {
+        double a = 0.0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          const double v = data_[static_cast<std::size_t>(i)];
+          a += v * v;
+        }
+        return a;
+      },
+      [](double a, double b) { return a + b; });
   return static_cast<float>(s);
 }
 

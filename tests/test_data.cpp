@@ -163,6 +163,91 @@ TEST(Loader, DropLastMakesFullBatchesOnly) {
   EXPECT_EQ(loader.batches_per_epoch(), 3);
 }
 
+TEST(Loader, RaggedLastBatchKeptWithoutDropLast) {
+  // dataset_size % batch_size != 0: 10 = 4 + 4 + 2.
+  SyntheticImageDataset::Config cfg;
+  cfg.train_size = 10;
+  SyntheticImageDataset ds(cfg);
+  ReformattedSplits splits = reformat(ds);
+  for (bool prefetch : {false, true}) {
+    Rng rng(21);
+    ImageLoader loader(splits.train, 4, nullptr, rng, /*drop_last=*/false, prefetch);
+    std::vector<std::size_t> sizes;
+    while (loader.has_next()) sizes.push_back(loader.next().labels.size());
+    EXPECT_EQ(sizes, (std::vector<std::size_t>{4, 4, 2})) << "prefetch=" << prefetch;
+    EXPECT_EQ(loader.batches_per_epoch(), 3);
+    EXPECT_THROW(loader.next(), std::logic_error);
+  }
+}
+
+TEST(Loader, RaggedLastBatchDroppedWithDropLast) {
+  SyntheticImageDataset::Config cfg;
+  cfg.train_size = 10;
+  SyntheticImageDataset ds(cfg);
+  ReformattedSplits splits = reformat(ds);
+  for (bool prefetch : {false, true}) {
+    Rng rng(22);
+    ImageLoader loader(splits.train, 4, nullptr, rng, /*drop_last=*/true, prefetch);
+    std::vector<std::size_t> sizes;
+    while (loader.has_next()) sizes.push_back(loader.next().labels.size());
+    EXPECT_EQ(sizes, (std::vector<std::size_t>{4, 4})) << "prefetch=" << prefetch;
+    EXPECT_EQ(loader.batches_per_epoch(), 2);
+  }
+}
+
+TEST(Loader, BatchLargerThanDataset) {
+  SyntheticImageDataset::Config cfg;
+  cfg.train_size = 3;
+  SyntheticImageDataset ds(cfg);
+  ReformattedSplits splits = reformat(ds);
+  for (bool prefetch : {false, true}) {
+    // drop_last off: one short batch holding the whole dataset.
+    Rng rng(23);
+    ImageLoader keep(splits.train, 8, nullptr, rng, /*drop_last=*/false, prefetch);
+    EXPECT_EQ(keep.batches_per_epoch(), 1);
+    ASSERT_TRUE(keep.has_next());
+    EXPECT_EQ(keep.next().labels.size(), 3u);
+    EXPECT_FALSE(keep.has_next());
+    // drop_last on: no full batch exists -> the epoch is empty.
+    ImageLoader drop(splits.train, 8, nullptr, rng, /*drop_last=*/true, prefetch);
+    EXPECT_EQ(drop.batches_per_epoch(), 0);
+    EXPECT_FALSE(drop.has_next());
+    EXPECT_THROW(drop.next(), std::logic_error);
+  }
+}
+
+TEST(Loader, InvalidBatchSizeThrows) {
+  SyntheticImageDataset::Config cfg;
+  cfg.train_size = 4;
+  SyntheticImageDataset ds(cfg);
+  ReformattedSplits splits = reformat(ds);
+  Rng rng(24);
+  EXPECT_THROW(ImageLoader(splits.train, 0, nullptr, rng), std::invalid_argument);
+  EXPECT_THROW(ImageLoader(splits.train, -2, nullptr, rng), std::invalid_argument);
+}
+
+TEST(Loader, PrefetchWithoutAugmentMatchesInlineLoader) {
+  // With no augmentation the prefetching loader consumes no Rng draws per
+  // batch, so its batches must equal the inline loader's exactly.
+  SyntheticImageDataset::Config cfg;
+  cfg.train_size = 14;
+  SyntheticImageDataset ds(cfg);
+  ReformattedSplits splits = reformat(ds);
+  Rng rng_a(31), rng_b(31);
+  ImageLoader inline_loader(splits.train, 4, nullptr, rng_a);
+  ImageLoader prefetch_loader(splits.train, 4, nullptr, rng_b, /*drop_last=*/false,
+                              /*prefetch=*/true);
+  while (inline_loader.has_next()) {
+    ASSERT_TRUE(prefetch_loader.has_next());
+    ImageBatch a = inline_loader.next();
+    ImageBatch b = prefetch_loader.next();
+    EXPECT_EQ(a.labels, b.labels);
+    ASSERT_EQ(a.images.numel(), b.images.numel());
+    for (std::int64_t i = 0; i < a.images.numel(); ++i) EXPECT_EQ(a.images[i], b.images[i]);
+  }
+  EXPECT_FALSE(prefetch_loader.has_next());
+}
+
 TEST(Loader, ReshufflesBetweenEpochs) {
   SyntheticImageDataset::Config cfg;
   cfg.train_size = 32;

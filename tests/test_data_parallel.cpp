@@ -244,7 +244,9 @@ TEST_P(StepTimeScaling, CommunicationGrowsWithWorkers) {
     return dp.step(12, [&](std::int64_t b, std::int64_t e) { return problem.shard_grads(b, e); },
                    params);
   };
-  if (workers > 1) EXPECT_GT(step_time(workers), step_time(workers / 2));
+  if (workers > 1) {
+    EXPECT_GT(step_time(workers), step_time(workers / 2));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Workers, StepTimeScaling, ::testing::Values(2, 4));

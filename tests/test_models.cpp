@@ -344,9 +344,11 @@ TEST(Gnmt, GradientsReachEncoderThroughAttention) {
   std::vector<data::TokenSeq> tgt_in = {{1, 6, 7}};
   Variable logits = model.forward_teacher(src, tgt_in);
   autograd::sum_all(logits).backward();
-  for (const auto& [name, p] : model.named_parameters())
-    if (name.rfind("encoder", 0) == 0)
+  for (const auto& [name, p] : model.named_parameters()) {
+    if (name.rfind("encoder", 0) == 0) {
       EXPECT_GT(p.grad().l2_norm_sq(), 0.0f) << name;
+    }
+  }
 }
 
 // ---- NCF -----------------------------------------------------------------------------

@@ -87,7 +87,9 @@ TEST(BestBatch, PicksConvergentFastest) {
   for (std::int64_t b = 1; b <= 512; b *= 2) {
     cfg.per_chip_batch = b;
     const SimResult probe = simulate(w, cfg);
-    if (probe.converges) EXPECT_GE(probe.time_to_train_s, r.time_to_train_s * 0.999);
+    if (probe.converges) {
+      EXPECT_GE(probe.time_to_train_s, r.time_to_train_s * 0.999);
+    }
   }
 }
 
