@@ -3,11 +3,21 @@
 // google-benchmark. The paper's point — and the reason MLPerf is NOT a
 // microbenchmark — is that these numbers say nothing about end-to-end
 // time-to-quality; they are included as the baseline the suite improves on.
+//
+// Run with --benchmark_format=json to get machine-readable output; the
+// custom main below stamps the kernel configuration into the JSON context.
+// BENCH_kernels.json at the repo root is the checked-in before/after
+// snapshot of the packed-GEMM change at the ResNet and Transformer shapes
+// (the *Ref benchmarks here regenerate the "before" side from the retained
+// scalar kernel).
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "nn/functional.h"
 #include "nn/layers.h"
 #include "parallel/parallel_for.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 using namespace mlperf;
@@ -26,6 +36,71 @@ static void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The retained pre-PR2 scalar kernel at the same square sizes: the "before"
+// row of BENCH_kernels.json, regenerable from this binary forever.
+static void BM_GemmRef(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    std::fill(c.vec().begin(), c.vec().end(), 0.0f);
+    tensor::gemm_accumulate_ref(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmRef)->Arg(64)->Arg(256);
+
+// Rectangular GEMMs at the suite's workload shapes. Args are {m, k, n}.
+// resnet: the im2col GEMM of a 3x3 conv on a 16x16 plane at 32 channels
+// (weight [32, 288] x columns [288, 256]) — the per-sample product inside
+// BM_Conv2dForward/32. transformer_ffn: tokens x model_dim x ff_dim for the
+// suite's TransformerBlock at batch 4, seq 32.
+static void gemm_shape_body(benchmark::State& state, bool use_ref) {
+  const std::int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(11);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c({m, n});
+  for (auto _ : state) {
+    std::fill(c.vec().begin(), c.vec().end(), 0.0f);
+    if (use_ref)
+      tensor::gemm_accumulate_ref(a.data(), b.data(), c.data(), m, k, n);
+    else
+      tensor::gemm_accumulate(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+static void BM_GemmShape(benchmark::State& state) { gemm_shape_body(state, false); }
+static void BM_GemmShapeRef(benchmark::State& state) { gemm_shape_body(state, true); }
+BENCHMARK(BM_GemmShape)
+    ->ArgNames({"m", "k", "n"})
+    ->Args({32, 288, 256})    // resnet conv-as-GEMM
+    ->Args({128, 32, 128});   // transformer FFN
+BENCHMARK(BM_GemmShapeRef)
+    ->ArgNames({"m", "k", "n"})
+    ->Args({32, 288, 256})
+    ->Args({128, 32, 128});
+
+// Batched matmul at the attention shape of the suite's Transformer (batch 4,
+// 4 heads, seq 32, head dim 8): scores = Q K^T through the transposed-B
+// variant, exactly as MultiHeadAttention now issues it.
+static void BM_BmmAttention(benchmark::State& state) {
+  const std::int64_t bh = 16, t = 32, dh = 8;
+  Rng rng(12);
+  Tensor q = Tensor::randn({bh, t, dh}, rng);
+  Tensor k = Tensor::randn({bh, t, dh}, rng);
+  for (auto _ : state) {
+    Tensor s = q.bmm(k, tensor::Trans::N, tensor::Trans::T);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * bh * t * t * dh);
+}
+BENCHMARK(BM_BmmAttention);
 
 static void BM_Conv2dForward(benchmark::State& state) {
   const std::int64_t c = state.range(0);
@@ -141,4 +216,19 @@ static void BM_LstmCell(benchmark::State& state) {
 }
 BENCHMARK(BM_LstmCell);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamps the kernel configuration
+// into the benchmark context so --benchmark_format=json output is
+// self-describing (BENCH_kernels.json records which kernel produced a row).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("gemm_kernel",
+                              "packed mr=" + std::to_string(tensor::kGemmMR) +
+                                  " nr=" + std::to_string(tensor::kGemmNR) +
+                                  " mc=" + std::to_string(tensor::kGemmMC));
+  benchmark::AddCustomContext("num_threads_default",
+                              std::to_string(parallel::num_threads()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -164,23 +164,44 @@ Variable mul_scalar(const Variable& a, float s) {
   });
 }
 
-Variable matmul(const Variable& a, const Variable& b) {
-  Tensor out = a.value().matmul(b.value());
+namespace {
+tensor::Trans flip(tensor::Trans t) {
+  return t == tensor::Trans::N ? tensor::Trans::T : tensor::Trans::N;
+}
+}  // namespace
+
+// For y = op_ta(A) op_tb(B): d(opA) = g opB^T and d(opB) = opA^T g; undoing
+// the ops on the stored operands gives the four transpose-free cases below.
+// No operand is ever copy-transposed — the GEMM pack step absorbs the flags.
+Variable matmul(const Variable& a, const Variable& b, tensor::Trans ta, tensor::Trans tb) {
+  Tensor out = a.value().matmul(b.value(), ta, tb);
   auto an = a.node();
   auto bn = b.node();
-  return Variable::from_op(std::move(out), {a, b}, [an, bn](const Tensor& g) {
-    if (an->requires_grad) an->accumulate_grad(g.matmul(bn->value.transpose2d()));
-    if (bn->requires_grad) bn->accumulate_grad(an->value.transpose2d().matmul(g));
+  return Variable::from_op(std::move(out), {a, b}, [an, bn, ta, tb](const Tensor& g) {
+    if (an->requires_grad)
+      an->accumulate_grad(ta == tensor::Trans::N
+                              ? g.matmul(bn->value, tensor::Trans::N, flip(tb))
+                              : bn->value.matmul(g, tb, tensor::Trans::T));
+    if (bn->requires_grad)
+      bn->accumulate_grad(tb == tensor::Trans::N
+                              ? an->value.matmul(g, flip(ta), tensor::Trans::N)
+                              : g.matmul(an->value, tensor::Trans::T, ta));
   });
 }
 
-Variable bmm(const Variable& a, const Variable& b) {
-  Tensor out = a.value().bmm(b.value());
+Variable bmm(const Variable& a, const Variable& b, tensor::Trans ta, tensor::Trans tb) {
+  Tensor out = a.value().bmm(b.value(), ta, tb);
   auto an = a.node();
   auto bn = b.node();
-  return Variable::from_op(std::move(out), {a, b}, [an, bn](const Tensor& g) {
-    if (an->requires_grad) an->accumulate_grad(g.bmm(bn->value.permute({0, 2, 1})));
-    if (bn->requires_grad) bn->accumulate_grad(an->value.permute({0, 2, 1}).bmm(g));
+  return Variable::from_op(std::move(out), {a, b}, [an, bn, ta, tb](const Tensor& g) {
+    if (an->requires_grad)
+      an->accumulate_grad(ta == tensor::Trans::N
+                              ? g.bmm(bn->value, tensor::Trans::N, flip(tb))
+                              : bn->value.bmm(g, tb, tensor::Trans::T));
+    if (bn->requires_grad)
+      bn->accumulate_grad(tb == tensor::Trans::N
+                              ? an->value.bmm(g, flip(ta), tensor::Trans::N)
+                              : g.bmm(an->value, tensor::Trans::T, ta));
   });
 }
 

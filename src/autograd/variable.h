@@ -83,8 +83,14 @@ Variable div(const Variable& a, const Variable& b);
 Variable neg(const Variable& a);
 Variable add_scalar(const Variable& a, float s);
 Variable mul_scalar(const Variable& a, float s);
-Variable matmul(const Variable& a, const Variable& b);
-Variable bmm(const Variable& a, const Variable& b);
+/// Matrix product op(a) x op(b) with either operand consumed transposed in
+/// place (no materialized transpose, forward or backward: gradients are
+/// formed with the complementary transposed GEMM variants).
+Variable matmul(const Variable& a, const Variable& b, tensor::Trans ta = tensor::Trans::N,
+                tensor::Trans tb = tensor::Trans::N);
+/// Batched matrix product with per-batch transposed operands (see matmul).
+Variable bmm(const Variable& a, const Variable& b, tensor::Trans ta = tensor::Trans::N,
+             tensor::Trans tb = tensor::Trans::N);
 Variable relu(const Variable& a);
 Variable tanh_op(const Variable& a);
 Variable sigmoid(const Variable& a);

@@ -7,6 +7,8 @@
 
 #include "nn/module.h"
 #include "parallel/parallel_for.h"
+#include "tensor/gemm.h"
+#include "tensor/scratch.h"
 
 namespace mlperf::nn {
 
@@ -106,16 +108,21 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
   const std::int64_t col_cols = d.oh * d.ow;
   Tensor out({d.n, d.o, d.oh, d.ow});
   // Split over samples: each sample's output slab is written by exactly one
-  // task with the sequential kernel, so results are bitwise identical at any
-  // thread count. The im2col scratch buffer is per-task.
+  // task with a kernel whose per-element accumulation order is fixed, so
+  // results are bitwise identical at any thread count. The im2col column
+  // buffer and the GEMM pack panels live in the task's scratch arena and are
+  // reused across samples and steps.
   parallel::parallel_for(
       parallel::grain_for(d.o * col_rows * col_cols), d.n,
       [&](std::int64_t s_begin, std::int64_t s_end) {
-        std::vector<float> cols(static_cast<std::size_t>(col_rows * col_cols));
+        tensor::ScratchArena::Frame frame(tensor::ScratchArena::tls());
+        float* cols = frame.alloc(col_rows * col_cols);
+        float* bp = frame.alloc(tensor::gemm_packed_b_size(col_rows, col_cols));
         for (std::int64_t s = s_begin; s < s_end; ++s) {
-          im2col(input.value().data() + s * d.c * d.h * d.w, d, stride, padding, cols.data());
-          tensor::gemm_accumulate(weight.value().data(), cols.data(),
-                                  out.data() + s * d.o * col_cols, d.o, col_rows, col_cols);
+          im2col(input.value().data() + s * d.c * d.h * d.w, d, stride, padding, cols);
+          tensor::gemm_pack_b(tensor::Trans::N, cols, col_cols, col_rows, col_cols, bp);
+          tensor::gemm_packed(tensor::Trans::N, weight.value().data(), col_rows, bp, d.o,
+                              col_cols, col_rows, out.data() + s * d.o * col_cols, col_cols);
           if (has_bias) {
             for (std::int64_t o = 0; o < d.o; ++o) {
               const float b = bias.value()[o];
@@ -144,31 +151,31 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
         // dW accumulates across samples, so each sample gets a private
         // partial (computed identically at any thread count) and the
         // partials are summed in ascending sample order below — the exact
-        // float-add sequence of the old sequential loop.
-        std::vector<float> dw_partials(
-            static_cast<std::size_t>(need_w ? d.n * wnumel : 0), 0.0f);
-        // Transposed weight [col_rows, O] for dX GEMM.
-        Tensor wt;
-        if (need_x) wt = w_node->value.reshape({d.o, col_rows}).transpose2d();
+        // float-add sequence of the old sequential loop. The partials block
+        // lives in the calling thread's arena: fully overwritten per sample,
+        // read only after the parallel_for joins.
+        tensor::ScratchArena::Frame caller_frame(tensor::ScratchArena::tls());
+        float* dw_partials = need_w ? caller_frame.alloc(d.n * wnumel) : nullptr;
         parallel::parallel_for(
             parallel::grain_for(d.o * col_rows * col_cols), d.n,
             [&](std::int64_t s_begin, std::int64_t s_end) {
-              std::vector<float> cols(
-                  static_cast<std::size_t>(need_w ? col_rows * col_cols : 0));
-              std::vector<float> dcols(
-                  static_cast<std::size_t>(need_x ? col_rows * col_cols : 0));
+              tensor::ScratchArena::Frame frame(tensor::ScratchArena::tls());
+              float* cols = need_w ? frame.alloc(col_rows * col_cols) : nullptr;
+              float* dcols = need_x ? frame.alloc(col_rows * col_cols) : nullptr;
               for (std::int64_t s = s_begin; s < s_end; ++s) {
                 const float* gs = g.data() + s * d.o * col_cols;
                 if (need_w) {
-                  im2col(in_node->value.data() + s * d.c * d.h * d.w, d, stride, padding,
-                         cols.data());
-                  // dW_s[o, col_rows] = g_s[o, col_cols] * cols^T[col_cols, col_rows]
-                  float* dws = dw_partials.data() + s * wnumel;
+                  im2col(in_node->value.data() + s * d.c * d.h * d.w, d, stride, padding, cols);
+                  // dW_s[o, col_rows] = g_s[o, col_cols] * cols^T[col_cols, col_rows].
+                  // Kept as double-precision dot products (not the float GEMM):
+                  // the wider accumulator is part of the numerics contract the
+                  // seed established for weight gradients.
+                  float* dws = dw_partials + s * wnumel;
                   for (std::int64_t o = 0; o < d.o; ++o) {
                     const float* grow = gs + o * col_cols;
                     float* wrow = dws + o * col_rows;
                     for (std::int64_t r = 0; r < col_rows; ++r) {
-                      const float* crow = cols.data() + r * col_cols;
+                      const float* crow = cols + r * col_cols;
                       double acc = 0.0;
                       for (std::int64_t q = 0; q < col_cols; ++q) acc += grow[q] * crow[q];
                       wrow[r] = static_cast<float>(acc);
@@ -176,16 +183,21 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
                   }
                 }
                 if (need_x) {
-                  std::fill(dcols.begin(), dcols.end(), 0.0f);
-                  tensor::gemm_accumulate(wt.data(), gs, dcols.data(), col_rows, d.o, col_cols);
-                  col2im_accumulate(dcols.data(), d, stride, padding,
+                  // dcols = W^T g_s via the transposed-A GEMM variant: the pack
+                  // step reads W [O, col_rows] column-wise, so no transposed
+                  // copy of the weights is materialized.
+                  std::fill(dcols, dcols + col_rows * col_cols, 0.0f);
+                  tensor::gemm_accumulate(tensor::Trans::T, tensor::Trans::N, col_rows,
+                                          col_cols, d.o, w_node->value.data(), col_rows, gs,
+                                          col_cols, dcols, col_cols);
+                  col2im_accumulate(dcols, d, stride, padding,
                                     dX.data() + s * d.c * d.h * d.w);
                 }
               }
             });
         if (need_w) {
           for (std::int64_t s = 0; s < d.n; ++s) {
-            const float* dws = dw_partials.data() + s * wnumel;
+            const float* dws = dw_partials + s * wnumel;
             float* dst = dW.data();
             for (std::int64_t i = 0; i < wnumel; ++i) dst[i] += dws[i];
           }

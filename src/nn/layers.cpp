@@ -19,7 +19,9 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, tensor::Rng&
 }
 
 Variable Linear::forward(const Variable& x) const {
-  Variable y = autograd::matmul(x, autograd::permute(weight, {1, 0}));
+  // y = x W^T, with W kept [out, in]: the transposed-B GEMM variant absorbs
+  // the transpose in its pack step instead of materializing W^T per step.
+  Variable y = autograd::matmul(x, weight, tensor::Trans::N, tensor::Trans::T);
   if (bias.numel() > 0) y = autograd::add(y, bias);
   return y;
 }
@@ -352,7 +354,7 @@ Variable MultiHeadAttention::forward(const Variable& q_in, const Variable& k_in,
   Variable k = project(wk, k_in, tk);
   Variable v = project(wv, v_in, tk);
 
-  Variable scores = bmm(q, permute(k, {0, 2, 1}));
+  Variable scores = bmm(q, k, tensor::Trans::N, tensor::Trans::T);
   scores = mul_scalar(scores, 1.0f / std::sqrt(static_cast<float>(dh)));
   if (causal) {
     if (tq != tk) throw std::invalid_argument("causal attention requires Tq == Tk");

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mlperf::tensor {
+
+/// Operand orientation for the GEMM entry points. `T` means the stored
+/// matrix is consumed transposed; the pack routines absorb the transpose
+/// while copying panels, so no materialized transpose is ever needed.
+enum class Trans : std::uint8_t { N, T };
+
+// Blocking parameters of the packed kernel (see EXPERIMENTS.md, "GEMM
+// micro-kernel"). MR x NR is the register tile: NR = 8 matches one AVX
+// vector (two SSE vectors) so the inner loop auto-vectorizes under plain
+// -O2/-O3 without intrinsics. MC bounds the packed A panel so it stays
+// cache-resident while a B panel streams past it. K is not blocked: each
+// C element folds its k-products in one ascending pass, which is what
+// makes the kernel bitwise reproducible (see gemm_accumulate_ref).
+inline constexpr std::int64_t kGemmMR = 4;
+inline constexpr std::int64_t kGemmNR = 8;
+inline constexpr std::int64_t kGemmMC = 64;
+
+/// Floats needed for a packed B panel of op(B) with k rows and n columns
+/// (n rounded up to a multiple of kGemmNR, zero-padded).
+std::int64_t gemm_packed_b_size(std::int64_t k, std::int64_t n);
+
+/// Pack op(B) (k x n after the optional transpose) into `bp`, laid out as
+/// ceil(n/NR) panels of [k][NR]. `ldb` is the leading dimension of the
+/// STORED matrix: op(B)[p][j] = b[p*ldb + j] when N, b[j*ldb + p] when T.
+/// A packed panel is read-only afterwards and may be shared across the
+/// row-partitions of a threaded GEMM.
+void gemm_pack_b(Trans tb, const float* b, std::int64_t ldb, std::int64_t k, std::int64_t n,
+                 float* bp);
+
+/// C[m,n] (row-major, leading dimension ldc) += op(A) * Bp, where Bp was
+/// filled by gemm_pack_b. op(A)[i][p] = a[i*lda + p] when N, a[p*lda + i]
+/// when T. A panels are packed into the calling thread's ScratchArena.
+/// Deterministic: every C element accumulates C_initial + sum of its
+/// k-products in ascending k order with a single float accumulator, so the
+/// result is independent of tiling, threading and call-site partitioning.
+void gemm_packed(Trans ta, const float* a, std::int64_t lda, const float* bp, std::int64_t m,
+                 std::int64_t n, std::int64_t k, float* c, std::int64_t ldc);
+
+/// One-call form: packs op(B) into the calling thread's scratch arena, then
+/// runs gemm_packed. C[m,n] += op(A)[m,k] * op(B)[k,n].
+void gemm_accumulate(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+                     const float* a, std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+                     std::int64_t ldc);
+
+/// Back-compat entry point: C[m,n] += A[m,k] * B[k,n], all contiguous
+/// row-major. Bitwise identical to gemm_accumulate_ref (see below).
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                     std::int64_t n);
+
+/// The pre-PR2 scalar kernel, retained as the numerics reference: blocked
+/// i-k-j loops, one accumulator per C element, ascending k. The packed
+/// kernel keeps exactly this per-element accumulation order, so the
+/// refcheck contract (tests/test_gemm.cpp) is EXACT BITWISE EQUALITY —
+/// a 0-ULP tolerance. Any future kernel that reorders the summation
+/// (k-splitting, multiple accumulators, FMA-only paths) must widen the
+/// documented tolerance in EXPERIMENTS.md and relax the test in the same
+/// change.
+void gemm_accumulate_ref(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                         std::int64_t n);
+
+}  // namespace mlperf::tensor

@@ -1,0 +1,68 @@
+#include "tensor/scratch.h"
+
+#include <algorithm>
+#include <new>
+
+namespace mlperf::tensor {
+
+namespace {
+constexpr std::size_t kAlign = 64;
+// Smallest chunk worth carving up; below this the bookkeeping dominates.
+constexpr std::int64_t kMinChunkFloats = std::int64_t{1} << 16;  // 256 KiB
+
+// Keep every allocation a multiple of the alignment so successive alloc()
+// results within a chunk stay 64-byte aligned.
+std::int64_t round_up(std::int64_t n) {
+  const std::int64_t unit = static_cast<std::int64_t>(kAlign / sizeof(float));
+  return (n + unit - 1) / unit * unit;
+}
+}  // namespace
+
+void ScratchArena::AlignedDelete::operator()(float* p) const {
+  ::operator delete[](p, std::align_val_t{kAlign});
+}
+
+ScratchArena& ScratchArena::tls() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+std::int64_t ScratchArena::capacity() const {
+  std::int64_t total = 0;
+  for (const auto& c : chunks_) total += c.size;
+  return total;
+}
+
+void ScratchArena::release() {
+  chunks_.clear();
+  cur_chunk_ = 0;
+  cur_used_ = 0;
+}
+
+float* ScratchArena::alloc(std::int64_t n) {
+  if (n < 0) n = 0;
+  const std::int64_t need = round_up(std::max<std::int64_t>(n, 1));
+  // Advance through retained chunks looking for room; a full chunk is left
+  // untouched so earlier pointers in this frame stay valid.
+  while (cur_chunk_ < chunks_.size() &&
+         chunks_[cur_chunk_].size - cur_used_ < need) {
+    ++cur_chunk_;
+    cur_used_ = 0;
+  }
+  if (cur_chunk_ == chunks_.size()) {
+    const std::int64_t prev = chunks_.empty() ? 0 : chunks_.back().size;
+    const std::int64_t size = std::max({need, 2 * prev, kMinChunkFloats});
+    Chunk c;
+    c.data.reset(static_cast<float*>(
+        ::operator new[](static_cast<std::size_t>(size) * sizeof(float), std::align_val_t{kAlign})));
+    c.size = size;
+    chunks_.push_back(std::move(c));
+    ++chunk_allocations_;
+    cur_used_ = 0;
+  }
+  float* p = chunks_[cur_chunk_].data.get() + cur_used_;
+  cur_used_ += need;
+  return p;
+}
+
+}  // namespace mlperf::tensor

@@ -1,12 +1,14 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "parallel/parallel_for.h"
+#include "tensor/scratch.h"
 
 namespace mlperf::tensor {
 
@@ -159,8 +161,15 @@ Tensor Tensor::permute(const std::vector<std::int64_t>& dims) const {
   return out;
 }
 
+namespace {
+std::atomic<std::int64_t> g_transpose2d_calls{0};
+}  // namespace
+
+std::int64_t transpose2d_calls() { return g_transpose2d_calls.load(std::memory_order_relaxed); }
+
 Tensor Tensor::transpose2d() const {
   if (ndim() != 2) fail("transpose2d(): expects rank 2");
+  g_transpose2d_calls.fetch_add(1, std::memory_order_relaxed);
   return permute({1, 0});
 }
 
@@ -455,55 +464,56 @@ std::vector<std::int64_t> Tensor::argmax_last() const {
   return out;
 }
 
-void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-                     std::int64_t n) {
-  // i-k-j loop order: unit-stride inner loop over both B and C rows, which is
-  // the right shape for a single-core cache hierarchy at our problem sizes.
-  constexpr std::int64_t kBlock = 64;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::int64_t i1 = std::min(i0 + kBlock, m);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
-      const std::int64_t k1 = std::min(k0 + kBlock, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* crow = c + i * n;
-        for (std::int64_t kk = k0; kk < k1; ++kk) {
-          const float av = a[i * k + kk];
-          if (av == 0.0f) continue;
-          const float* brow = b + kk * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
+Tensor Tensor::matmul(const Tensor& o) const { return matmul(o, Trans::N, Trans::N); }
 
-Tensor Tensor::matmul(const Tensor& o) const {
+Tensor Tensor::matmul(const Tensor& o, Trans ta, Trans tb) const {
   if (ndim() != 2 || o.ndim() != 2) fail("matmul(): expects rank-2 operands");
-  if (shape_[1] != o.shape_[0])
+  const std::int64_t m = ta == Trans::N ? shape_[0] : shape_[1];
+  const std::int64_t ka = ta == Trans::N ? shape_[1] : shape_[0];
+  const std::int64_t kb = tb == Trans::N ? o.shape_[0] : o.shape_[1];
+  const std::int64_t n = tb == Trans::N ? o.shape_[1] : o.shape_[0];
+  if (ka != kb)
     fail("matmul(): inner extent mismatch " + shape_str(shape_) + " x " + shape_str(o.shape_));
-  const std::int64_t m = shape_[0], k = shape_[1], n = o.shape_[1];
+  const std::int64_t lda = shape_[1], ldb = o.shape_[1];
   Tensor out({m, n});
-  // Split over rows of A/C: each row of C accumulates its k-products in the
-  // same order as the sequential kernel, so any row partition is bitwise
-  // identical to the single-threaded result.
+  // Pack op(B) once on the calling thread; the packed panels are shared
+  // read-only across the row-partitions below. Each row of C accumulates its
+  // k-products in ascending order with a single accumulator, so any row
+  // partition is bitwise identical to the single-threaded result.
+  ScratchArena::Frame frame(ScratchArena::tls());
+  float* bp = frame.alloc(gemm_packed_b_size(ka, n));
+  gemm_pack_b(tb, o.data(), ldb, ka, n, bp);
+  const std::int64_t a_row_stride = ta == Trans::N ? lda : 1;
   parallel::parallel_for(
-      parallel::grain_for(k * n), m, [&](std::int64_t begin, std::int64_t end) {
-        gemm_accumulate(data() + begin * k, o.data(), out.data() + begin * n, end - begin, k, n);
+      parallel::grain_for(ka * n), m, [&](std::int64_t begin, std::int64_t end) {
+        gemm_packed(ta, data() + begin * a_row_stride, lda, bp, end - begin, n, ka,
+                    out.data() + begin * n, n);
       });
   return out;
 }
 
-Tensor Tensor::bmm(const Tensor& o) const {
+Tensor Tensor::bmm(const Tensor& o) const { return bmm(o, Trans::N, Trans::N); }
+
+Tensor Tensor::bmm(const Tensor& o, Trans ta, Trans tb) const {
   if (ndim() != 3 || o.ndim() != 3) fail("bmm(): expects rank-3 operands");
-  if (shape_[0] != o.shape_[0] || shape_[2] != o.shape_[1])
+  const std::int64_t b = shape_[0];
+  const std::int64_t m = ta == Trans::N ? shape_[1] : shape_[2];
+  const std::int64_t ka = ta == Trans::N ? shape_[2] : shape_[1];
+  const std::int64_t kb = tb == Trans::N ? o.shape_[1] : o.shape_[2];
+  const std::int64_t n = tb == Trans::N ? o.shape_[2] : o.shape_[1];
+  if (o.shape_[0] != b || ka != kb)
     fail("bmm(): shape mismatch " + shape_str(shape_) + " x " + shape_str(o.shape_));
-  const std::int64_t b = shape_[0], m = shape_[1], k = shape_[2], n = o.shape_[2];
+  const std::int64_t lda = shape_[2], ldb = o.shape_[2];
+  const std::int64_t a_batch = shape_[1] * shape_[2], b_batch = o.shape_[1] * o.shape_[2];
   Tensor out({b, m, n});
   parallel::parallel_for(
-      parallel::grain_for(m * k * n), b, [&](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i)
-          gemm_accumulate(data() + i * m * k, o.data() + i * k * n, out.data() + i * m * n, m,
-                          k, n);
+      parallel::grain_for(m * ka * n), b, [&](std::int64_t begin, std::int64_t end) {
+        ScratchArena::Frame frame(ScratchArena::tls());
+        float* bp = frame.alloc(gemm_packed_b_size(ka, n));
+        for (std::int64_t i = begin; i < end; ++i) {
+          gemm_pack_b(tb, o.data() + i * b_batch, ldb, ka, n, bp);
+          gemm_packed(ta, data() + i * a_batch, lda, bp, m, n, ka, out.data() + i * m * n, n);
+        }
       });
   return out;
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/rng.h"
 
 namespace mlperf::tensor {
@@ -123,8 +124,15 @@ class Tensor {
   // ----- linear algebra ------------------------------------------------------
   /// 2-D matrix product: [m,k] x [k,n] -> [m,n].
   Tensor matmul(const Tensor& o) const;
+  /// 2-D matrix product with either operand consumed transposed in place:
+  /// op(this) x op(o). The transpose is absorbed by the GEMM pack step — no
+  /// materialized transpose copy — and the result is bitwise identical to
+  /// matmul() of explicitly transposed operands.
+  Tensor matmul(const Tensor& o, Trans ta, Trans tb) const;
   /// Batched matmul: [b,m,k] x [b,k,n] -> [b,m,n].
   Tensor bmm(const Tensor& o) const;
+  /// Batched matmul with per-batch transposed operands (see matmul overload).
+  Tensor bmm(const Tensor& o, Trans ta, Trans tb) const;
 
   // ----- softmax family ------------------------------------------------------
   /// Numerically-stable softmax over the last axis.
@@ -147,9 +155,9 @@ class Tensor {
   std::vector<std::int64_t> strides() const;
 };
 
-/// C[m,n] += A[m,k] * B[k,n]; the blocked GEMM kernel underlying matmul,
-/// conv2d (via im2col) and the linear layers. C must be pre-sized.
-void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
-                     std::int64_t k, std::int64_t n);
+/// Diagnostic counter: number of transpose2d() materializations performed by
+/// this process so far. Tests use it to pin the transpose-free backward
+/// contract (matmul/conv2d backward must not copy-transpose operands).
+std::int64_t transpose2d_calls();
 
 }  // namespace mlperf::tensor
