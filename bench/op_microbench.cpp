@@ -12,8 +12,12 @@
 // scalar kernel).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 
+#include "checkpoint/format.h"
+#include "checkpoint/state.h"
+#include "harness/reference.h"
 #include "nn/functional.h"
 #include "nn/layers.h"
 #include "parallel/parallel_for.h"
@@ -215,6 +219,78 @@ static void BM_LstmCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LstmCell);
+
+// --- Checkpoint subsystem (BENCH_checkpoint.json regenerates from these) ---
+// Checkpoint writes land INSIDE the timed §3.2.1 run window, so their cost is
+// part of every fault-tolerant time-to-train result; these entries pin it.
+
+static void BM_Crc32c(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::uint8_t>(i * 131);
+  for (auto _ : state) {
+    std::uint32_t crc = checkpoint::crc32c(buf.data(), buf.size());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Crc32c)->Arg(1 << 12)->Arg(1 << 20);
+
+namespace {
+std::unique_ptr<models::Workload> trained_smoke_workload() {
+  auto w = harness::make_reference_workload(core::BenchmarkId::kRecommendation,
+                                            harness::WorkloadScale::kSmoke);
+  w->prepare_data();
+  w->build_model(1);
+  w->train_epoch();
+  return w;
+}
+}  // namespace
+
+// Full-state serialize (model + optimizer slots + rng) to memory, CRC'd.
+static void BM_CheckpointSave(benchmark::State& state) {
+  auto w = trained_smoke_workload();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    checkpoint::CheckpointWriter ckpt;
+    w->save_state(ckpt);
+    std::vector<std::uint8_t> buf = ckpt.serialize();
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+  state.counters["ckpt_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_CheckpointSave);
+
+// Save plus the atomic temp-file + rename landing — the cost the harness
+// actually charges per checkpoint_saved event.
+static void BM_CheckpointWriteFile(benchmark::State& state) {
+  auto w = trained_smoke_workload();
+  const std::string path = "bench_checkpoint.ckpt";
+  for (auto _ : state) {
+    checkpoint::CheckpointWriter ckpt;
+    w->save_state(ckpt);
+    ckpt.write_file(path);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointWriteFile);
+
+// Parse (magic/version/every-CRC validation) + in-place state restore — the
+// cost of the checkpoint_restored event on a resumed session.
+static void BM_CheckpointRestore(benchmark::State& state) {
+  auto w = trained_smoke_workload();
+  checkpoint::CheckpointWriter ckpt;
+  w->save_state(ckpt);
+  const std::vector<std::uint8_t> bytes = ckpt.serialize();
+  for (auto _ : state) {
+    checkpoint::CheckpointReader r = checkpoint::CheckpointReader::parse(bytes, "bench");
+    w->restore_state(r);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_CheckpointRestore);
 
 // Custom main instead of BENCHMARK_MAIN(): stamps the kernel configuration
 // into the benchmark context so --benchmark_format=json output is

@@ -1,17 +1,25 @@
 // Quickstart: train one MLPerf reference workload to its quality target under
 // the paper's timing rules, and print the structured training log.
 //
-//   $ ./quickstart [benchmark] [num_threads]
+//   $ ./quickstart [benchmark] [num_threads] [flags]
 //
 // where benchmark is one of: image_classification, object_detection_light,
 // object_detection_heavy, translation_recurrent, translation_nonrecurrent,
 // recommendation, reinforcement_learning (default: recommendation — the
 // fastest one), and num_threads sizes the intra-op worker pool (default 1;
-// the result is bitwise identical at any value).
+// the result is bitwise identical at any value). Flags:
+//
+//   --checkpoint_every_n_epochs=N  write a full-state checkpoint every N epochs
+//   --checkpoint_path=FILE         where to write it (default quickstart.ckpt)
+//   --resume_from=FILE             resume a preempted run from this checkpoint
+//   --kill_after_epoch=K           fault injection: SIGKILL after epoch K
+//                                  (for crash-resume testing; exits 137)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "harness/reference.h"
 #include "harness/run.h"
@@ -19,14 +27,42 @@
 using namespace mlperf;
 
 int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::string checkpoint_path = "quickstart.ckpt";
+  std::string resume_from;
+  long checkpoint_every = 0;
+  long kill_after_epoch = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* name) -> std::optional<std::string> {
+      const std::string prefix = std::string("--") + name + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = flag_value("checkpoint_every_n_epochs")) {
+      checkpoint_every = std::strtol(v->c_str(), nullptr, 10);
+    } else if (auto v = flag_value("checkpoint_path")) {
+      checkpoint_path = *v;
+    } else if (auto v = flag_value("resume_from")) {
+      resume_from = *v;
+    } else if (auto v = flag_value("kill_after_epoch")) {
+      kill_after_epoch = std::strtol(v->c_str(), nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 1;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
   const core::SuiteVersion suite = core::suite_v05();
   core::BenchmarkId id = core::BenchmarkId::kRecommendation;
-  if (argc > 1) {
+  if (!positional.empty()) {
     std::optional<core::BenchmarkId> found;
     for (const auto& spec : suite.benchmarks)
-      if (spec.name == argv[1]) found = spec.id;
+      if (spec.name == positional[0]) found = spec.id;
     if (!found) {
-      std::fprintf(stderr, "unknown benchmark '%s'; options are:\n", argv[1]);
+      std::fprintf(stderr, "unknown benchmark '%s'; options are:\n", positional[0].c_str());
       for (const auto& spec : suite.benchmarks)
         std::fprintf(stderr, "  %s\n", spec.name.c_str());
       return 1;
@@ -46,17 +82,35 @@ int main(int argc, char** argv) {
   harness::RunOptions opts;
   opts.seed = 42;
   opts.max_epochs = 120;
-  if (argc > 2) {
-    const long threads = std::strtol(argv[2], nullptr, 10);
+  if (positional.size() > 1) {
+    const long threads = std::strtol(positional[1].c_str(), nullptr, 10);
     if (threads < 1) {
-      std::fprintf(stderr, "num_threads must be >= 1, got '%s'\n", argv[2]);
+      std::fprintf(stderr, "num_threads must be >= 1, got '%s'\n", positional[1].c_str());
       return 1;
     }
     opts.num_threads = threads;
   }
+  if (checkpoint_every > 0) {
+    opts.checkpoint_every_n_epochs = checkpoint_every;
+    opts.checkpoint_path = checkpoint_path;
+    std::printf("checkpointing every %ld epoch(s) to %s\n", checkpoint_every,
+                checkpoint_path.c_str());
+  }
+  if (!resume_from.empty()) {
+    opts.resume_from = resume_from;
+    std::printf("resuming from %s\n", resume_from.c_str());
+  }
+  if (kill_after_epoch >= 0) {
+    opts.fault.kill_after_epoch = kill_after_epoch;
+    opts.fault.action = harness::FaultPlan::Action::kSigkill;
+    std::printf("fault injection armed: SIGKILL after epoch %ld\n", kill_after_epoch);
+  }
   std::printf("intra-op threads: %lld\n\n", static_cast<long long>(opts.num_threads));
   const harness::RunOutcome out =
       harness::run_to_target(*workload, spec.mini_quality, opts);
+  if (out.resumed_from_epoch >= 0)
+    std::printf("resumed at epoch %lld; prior timed ms carried into the result\n",
+                static_cast<long long>(out.resumed_from_epoch));
 
   std::printf("quality curve:\n");
   for (const auto& p : out.curve)

@@ -1,0 +1,39 @@
+#include "core/fileio.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace mlperf::core {
+
+void atomic_write_file(const std::string& path, const void* data, std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("atomic_write_file: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: rename to " + path + " failed");
+  }
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("read_file_bytes: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("read_file_bytes: read failed for " + path);
+  return bytes;
+}
+
+}  // namespace mlperf::core

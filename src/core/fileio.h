@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlperf::core {
+
+/// Crash-safe whole-file write: the bytes are written to `path + ".tmp"`,
+/// flushed, and renamed over `path`. POSIX rename within a directory is
+/// atomic, so a reader (or a process that crashes mid-write) only ever sees
+/// the old complete file or the new complete file — never a truncated one.
+/// Throws std::runtime_error on any I/O failure (the temp file is removed).
+void atomic_write_file(const std::string& path, const void* data, std::size_t size);
+
+/// Read an entire file into memory. Throws std::runtime_error on failure.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+}  // namespace mlperf::core

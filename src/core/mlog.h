@@ -53,6 +53,11 @@ inline constexpr const char* kSeed = "seed";
 inline constexpr const char* kAugmentationSignature = "augmentation_signature";
 inline constexpr const char* kModelSignature = "model_signature";
 inline constexpr const char* kOptimizerName = "optimizer_name";
+// Checkpoint/restore (both fall inside the timed run window, so under the
+// §3.2.1 rules the write and restore costs are charged to the result; the
+// events make the charge auditable from the log alone).
+inline constexpr const char* kCheckpointSaved = "checkpoint_saved";
+inline constexpr const char* kCheckpointRestored = "checkpoint_restored";
 }  // namespace keys
 
 /// Append-only structured log for one training session. Serializes to JSON

@@ -51,16 +51,36 @@ void TrainingTimer::stop_run() {
   log_->log(run_stop_ms_, keys::kRunStop, true);
 }
 
+void TrainingTimer::carry_prior(double prior_timed_ms, double prior_unexcluded_ms) {
+  if (run_stopped()) throw std::logic_error("TrainingTimer: carry_prior after stop_run");
+  if (prior_timed_ms < 0.0 || prior_unexcluded_ms < 0.0)
+    throw std::invalid_argument("TrainingTimer: prior times must be >= 0");
+  prior_timed_ms_ = prior_timed_ms;
+  prior_unexcluded_ms_ = prior_unexcluded_ms;
+}
+
 double TrainingTimer::time_to_train_ms() const {
   if (!run_stopped()) throw std::logic_error("TrainingTimer: run not complete");
   const double excess =
       std::max(0.0, model_creation_total_ms_ - model_creation_cap_ms_);
-  return (run_stop_ms_ - run_start_ms_) + excess;
+  return prior_timed_ms_ + (run_stop_ms_ - run_start_ms_) + excess;
 }
 
 double TrainingTimer::unexcluded_time_ms() const {
   if (!run_stopped()) throw std::logic_error("TrainingTimer: run not complete");
-  return run_stop_ms_ - first_event_ms_;
+  return prior_unexcluded_ms_ + (run_stop_ms_ - first_event_ms_);
+}
+
+double TrainingTimer::timed_so_far_ms() const {
+  if (!run_started()) throw std::logic_error("TrainingTimer: run not started");
+  const double excess =
+      std::max(0.0, model_creation_total_ms_ - model_creation_cap_ms_);
+  return prior_timed_ms_ + (clock_->now_ms() - run_start_ms_) + excess;
+}
+
+double TrainingTimer::unexcluded_so_far_ms() const {
+  if (!run_started()) throw std::logic_error("TrainingTimer: run not started");
+  return prior_unexcluded_ms_ + (clock_->now_ms() - first_event_ms_);
 }
 
 }  // namespace mlperf::core

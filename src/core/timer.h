@@ -85,12 +85,30 @@ class TrainingTimer {
   bool run_started() const { return run_start_ms_ >= 0.0; }
   bool run_stopped() const { return run_stop_ms_ >= 0.0; }
 
-  /// Official result: run_stop - run_start + max(0, model_creation - cap).
+  /// Official result: run_stop - run_start + max(0, model_creation - cap),
+  /// plus any prior timed milliseconds carried from a checkpointed session.
   double time_to_train_ms() const;
 
   /// What the result would be WITHOUT the exclusions (for the timing-rules
-  /// ablation): total wall time from the first region/open to run_stop.
+  /// ablation): total wall time from the first region/open to run_stop, plus
+  /// any carried prior unexcluded time.
   double unexcluded_time_ms() const;
+
+  /// Resume accounting (checkpoint/restore, §3.2.1 applied across restarts):
+  /// a restored session carries the timed and unexcluded milliseconds the
+  /// preempted session(s) had accumulated when the checkpoint was written.
+  /// Must be called before stop_run (the harness calls it right after
+  /// start_run, so the restore cost itself lands inside the timed window).
+  void carry_prior(double prior_timed_ms, double prior_unexcluded_ms);
+  double prior_timed_ms() const { return prior_timed_ms_; }
+
+  /// Timed milliseconds accumulated so far in an OPEN run (now - run_start,
+  /// plus carried prior time and any model-creation excess beyond the cap).
+  /// This is what a checkpoint records so a restored session can continue the
+  /// time-to-train accounting.
+  double timed_so_far_ms() const;
+  /// Same, without the exclusions (now - first event + carried prior).
+  double unexcluded_so_far_ms() const;
 
   double now_ms() const { return clock_->now_ms(); }
   MlLog& log() { return *log_; }
@@ -106,6 +124,8 @@ class TrainingTimer {
   double run_start_ms_ = -1.0;
   double run_stop_ms_ = -1.0;
   double model_creation_total_ms_ = 0.0;
+  double prior_timed_ms_ = 0.0;
+  double prior_unexcluded_ms_ = 0.0;
   double region_open_ms_ = -1.0;
   const char* open_key_ = nullptr;
 };

@@ -37,6 +37,7 @@ ImageLoader::~ImageLoader() { wait_inflight(); }
 void ImageLoader::start_epoch() {
   wait_inflight();  // a pending batch still reads order_; let it finish
   inflight_.reset();
+  ++epochs_started_;
   order_ = rng_->permutation(static_cast<std::size_t>(set_->size()));
   cursor_ = 0;
   limit_ = set_->size();
@@ -48,6 +49,8 @@ bool ImageLoader::has_next() const {
   if (prefetch_) return inflight_ != nullptr;
   return cursor_ < limit_;
 }
+
+bool ImageLoader::epoch_exhausted() const { return cursor_ >= limit_ && !has_next(); }
 
 std::int64_t ImageLoader::batches_per_epoch() const {
   if (drop_last_) return set_->size() / batch_size_;

@@ -53,6 +53,26 @@ class ImageLoader {
 
   bool prefetch_enabled() const { return prefetch_; }
 
+  /// ---- checkpoint support -----------------------------------------------
+  /// Block until any in-flight prefetched batch has been fully assembled
+  /// (the batch stays pending for the next next()). A checkpoint must drain
+  /// the loader before snapshotting so no producer task is still running.
+  void drain() const { wait_inflight(); }
+  /// True when every batch of the current epoch has been consumed — the only
+  /// position at which the traversal state is checkpointable: between
+  /// epochs the entire traversal is a pure function of the run Rng, so a
+  /// restored Rng replays the next epoch's shuffle and augmentation draws
+  /// exactly. (Mid-epoch, a prefetching loader has already consumed the rng
+  /// split for the batch in flight, so a mid-epoch snapshot could not resume
+  /// bitwise-identically.)
+  bool epoch_exhausted() const;
+  /// Number of start_epoch() calls so far (construction counts as the
+  /// first). Checkpoints record it so a restored run can audit that it
+  /// resumes at the same traversal position.
+  std::int64_t epochs_started() const { return epochs_started_; }
+  std::int64_t cursor() const { return cursor_; }
+  std::int64_t epoch_limit() const { return limit_; }
+
  private:
   struct Inflight;
 
@@ -74,6 +94,7 @@ class ImageLoader {
   std::vector<std::size_t> order_;
   std::int64_t cursor_ = 0;
   std::int64_t limit_ = 0;
+  std::int64_t epochs_started_ = 0;
   std::shared_ptr<Inflight> inflight_;  // non-null = one batch pending/ready
 };
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "checkpoint/state.h"
 #include "metrics/metrics.h"
 
 namespace mlperf::models {
@@ -96,13 +97,23 @@ void ResNetWorkload::build_model(std::uint64_t seed) {
       config_.base_lr, config_.batch_size, config_.base_batch, config_.warmup_steps,
       config_.lr_decay_gamma, config_.lr_decay_epochs * steps_per_epoch);
   step_ = 0;
+  epochs_trained_ = 0;
+  train_loader_.reset();
 }
 
 void ResNetWorkload::train_epoch() {
   if (!data_prepared_ || !model_) throw std::logic_error("ResNetWorkload: not prepared");
   model_->set_training(true);
-  data::ImageLoader loader(splits_.train, config_.batch_size, &augment_, rng_,
-                           /*drop_last=*/false, config_.prefetch_loader);
+  // Lazy construction + start_epoch() replays the historical per-epoch-local
+  // loader's rng draws exactly (the constructor starts the first epoch).
+  if (!train_loader_) {
+    train_loader_ = std::make_unique<data::ImageLoader>(splits_.train, config_.batch_size,
+                                                        &augment_, rng_, /*drop_last=*/false,
+                                                        config_.prefetch_loader);
+  } else {
+    train_loader_->start_epoch();
+  }
+  data::ImageLoader& loader = *train_loader_;
   const bool quantized = config_.weight_format != numerics::Format::kFP32;
   std::vector<autograd::Variable> params = model_->parameters();
   while (loader.has_next()) {
@@ -132,6 +143,7 @@ void ResNetWorkload::train_epoch() {
     }
     ++step_;
   }
+  ++epochs_trained_;
 }
 
 double ResNetWorkload::evaluate() {
@@ -148,6 +160,57 @@ double ResNetWorkload::evaluate() {
   }
   model_->set_training(true);
   return metrics::top1_accuracy(preds, targets);
+}
+
+void ResNetWorkload::save_state(checkpoint::CheckpointWriter& out) const {
+  if (!model_ || !optimizer_)
+    throw std::logic_error("ResNetWorkload: cannot checkpoint before build_model");
+  checkpoint::write_module(out.section("model"), *model_);
+  checkpoint::write_optimizer(out.section("optimizer"), *optimizer_);
+  checkpoint::write_rng(out.section("rng"), rng_);
+  checkpoint::ByteWriter& progress = out.section("progress");
+  progress.put_i64(step_);
+  progress.put_i64(epochs_trained_);
+  // Loader traversal position. Checkpoints are epoch-boundary-only: between
+  // epochs the traversal is a pure function of the (saved) rng, so epoch
+  // count + an exhausted cursor is the complete loader state.
+  checkpoint::ByteWriter& loader = out.section("loader");
+  if (train_loader_) {
+    train_loader_->drain();
+    if (!train_loader_->epoch_exhausted())
+      throw std::logic_error(
+          "ResNetWorkload: checkpoint requested mid-epoch (loader not exhausted)");
+    loader.put_i64(train_loader_->epochs_started());
+    loader.put_i64(train_loader_->cursor());
+    loader.put_i64(train_loader_->epoch_limit());
+  } else {
+    loader.put_i64(0);
+    loader.put_i64(0);
+    loader.put_i64(0);
+  }
+}
+
+void ResNetWorkload::restore_state(const checkpoint::CheckpointReader& in) {
+  if (!model_ || !optimizer_)
+    throw std::logic_error("ResNetWorkload: cannot restore before build_model");
+  checkpoint::ByteReader model_in = in.section("model");
+  checkpoint::read_module(model_in, *model_);
+  checkpoint::ByteReader opt_in = in.section("optimizer");
+  checkpoint::read_optimizer(opt_in, *optimizer_);
+  checkpoint::ByteReader rng_in = in.section("rng");
+  checkpoint::read_rng(rng_in, rng_);
+  checkpoint::ByteReader progress = in.section("progress");
+  step_ = progress.get_i64();
+  epochs_trained_ = progress.get_i64();
+  checkpoint::ByteReader loader = in.section("loader");
+  const std::int64_t epochs_started = loader.get_i64();
+  if (epochs_started != epochs_trained_)
+    throw checkpoint::CheckpointError(
+        "ResNetWorkload: loader epoch count " + std::to_string(epochs_started) +
+        " does not match trained epochs " + std::to_string(epochs_trained_));
+  // The loader itself is rebuilt lazily on the next train_epoch; constructing
+  // it from the restored rng replays the shuffle the uninterrupted run drew.
+  train_loader_.reset();
 }
 
 std::map<std::string, double> ResNetWorkload::hyperparameters() const {

@@ -104,8 +104,18 @@ class ResNetWorkload : public Workload {
   }
   std::string augmentation_signature() const override { return augment_.signature(); }
 
+  /// Full-state checkpointing: model parameters AND batch-norm running
+  /// statistics, the optimizer's slot buffers (SGD-momentum velocity or LARS
+  /// velocity), the LR-schedule position (global step), the run rng, and the
+  /// train-loader traversal position. save_state drains the (possibly
+  /// prefetching) loader and requires an epoch boundary.
+  bool supports_checkpoint() const override { return true; }
+  void save_state(checkpoint::CheckpointWriter& out) const override;
+  void restore_state(const checkpoint::CheckpointReader& in) override;
+
   /// Direct access for tests and the precision/batch-size benches.
   ResNetMini* model() { return model_.get(); }
+  std::int64_t step() const { return step_; }
 
  private:
   Config config_;
@@ -118,6 +128,13 @@ class ResNetWorkload : public Workload {
   std::unique_ptr<optim::LrSchedule> schedule_;
   tensor::Rng rng_;
   std::int64_t step_ = 0;
+  std::int64_t epochs_trained_ = 0;
+  /// Persistent training loader, created lazily on the first train_epoch so
+  /// the rng draw order (one permutation per epoch start, then the per-batch
+  /// augmentation draws) is exactly the draw order of the historical
+  /// loader-per-epoch code. Declared after splits_/augment_/rng_, which it
+  /// references, so it is destroyed first.
+  std::unique_ptr<data::ImageLoader> train_loader_;
 };
 
 }  // namespace mlperf::models

@@ -2,7 +2,13 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
+
+namespace mlperf::checkpoint {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace mlperf::checkpoint
 
 namespace mlperf::models {
 
@@ -26,6 +32,24 @@ class Workload {
   virtual void build_model(std::uint64_t seed) = 0;
   virtual void train_epoch() = 0;
   virtual double evaluate() = 0;
+
+  /// ---- checkpoint/restore (opt-in) --------------------------------------
+  /// A checkpointable workload serializes its COMPLETE training state —
+  /// model parameters and buffers, optimizer slot buffers and step counters,
+  /// every RNG stream, and data-traversal position — such that a restored
+  /// run continues bitwise-identically to one that was never interrupted.
+  /// save_state may only be called at an epoch boundary (after train_epoch /
+  /// evaluate returned, before the next train_epoch); implementations must
+  /// drain any asynchronous work (e.g. a prefetching loader) before
+  /// snapshotting. The harness stores its own sections ("meta", "curve",
+  /// "timer", "log") alongside the workload's.
+  virtual bool supports_checkpoint() const { return false; }
+  virtual void save_state(checkpoint::CheckpointWriter& /*out*/) const {
+    throw std::logic_error(name() + ": workload does not support checkpointing");
+  }
+  virtual void restore_state(const checkpoint::CheckpointReader& /*in*/) {
+    throw std::logic_error(name() + ": workload does not support checkpointing");
+  }
 
   /// Hyperparameters to log (names should match the Closed-division
   /// whitelist vocabulary where applicable).

@@ -46,6 +46,8 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps_, float momentum_)
       momentum(momentum_) {
   gamma = register_parameter("gamma", Tensor({channels}, 1.0f));
   beta = register_parameter("beta", Tensor({channels}));
+  register_buffer("running_mean", running_mean);
+  register_buffer("running_var", running_var);
 }
 
 Variable BatchNorm2d::forward(const Variable& x) {

@@ -35,6 +35,16 @@ class Module {
     return out;
   }
 
+  /// Named non-parameter state tensors ("buffers": batch-norm running
+  /// statistics and the like), with the same child-path prefixes. Buffers are
+  /// not touched by optimizers but are part of the model's training state —
+  /// a checkpoint that skipped them would not resume bitwise-identically.
+  std::vector<std::pair<std::string, tensor::Tensor*>> named_buffers() const {
+    std::vector<std::pair<std::string, tensor::Tensor*>> out;
+    collect_buffers("", out);
+    return out;
+  }
+
   /// Total scalar parameter count.
   std::int64_t num_parameters() const {
     std::int64_t n = 0;
@@ -65,6 +75,12 @@ class Module {
     child_names_.push_back(std::move(name));
   }
 
+  /// Register a member tensor as a named buffer. The tensor must outlive the
+  /// module (it is a member of the derived class, like child modules).
+  void register_buffer(std::string name, tensor::Tensor& buffer) {
+    buffers_.emplace_back(std::move(name), &buffer);
+  }
+
  private:
   void collect(std::vector<autograd::Variable>& out) const {
     for (const auto& [name, v] : params_) out.push_back(v);
@@ -76,8 +92,15 @@ class Module {
     for (std::size_t i = 0; i < children_.size(); ++i)
       children_[i]->collect_named(prefix + child_names_[i] + ".", out);
   }
+  void collect_buffers(const std::string& prefix,
+                       std::vector<std::pair<std::string, tensor::Tensor*>>& out) const {
+    for (const auto& [name, t] : buffers_) out.emplace_back(prefix + name, t);
+    for (std::size_t i = 0; i < children_.size(); ++i)
+      children_[i]->collect_buffers(prefix + child_names_[i] + ".", out);
+  }
 
   std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, tensor::Tensor*>> buffers_;  // non-owning members
   std::vector<Module*> children_;            // non-owning: children are members
   std::vector<std::string> child_names_;
   bool training_ = true;

@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/fileio.h"
 
 namespace mlperf::nn {
 
@@ -39,8 +42,10 @@ std::string read_string(std::istream& in) {
 }  // namespace
 
 void save_weights(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  // Serialize to memory first, then write atomically (tmp + rename): a crash
+  // mid-save can no longer leave a truncated weights file under `path` that
+  // a later load_weights would trip over.
+  std::ostringstream out(std::ios::binary);
   std::uint32_t magic = kMagic;
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   const auto named = module.named_parameters();
@@ -53,7 +58,9 @@ void save_weights(const Module& module, const std::string& path) {
     out.write(reinterpret_cast<const char*>(param.value().data()),
               static_cast<std::streamsize>(param.numel() * sizeof(float)));
   }
-  if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+  if (!out) throw std::runtime_error("save_weights: serialization failed for " + path);
+  const std::string bytes = out.str();
+  core::atomic_write_file(path, bytes.data(), bytes.size());
 }
 
 void load_weights(Module& module, const std::string& path) {

@@ -72,6 +72,14 @@ void SgdMomentum::step(float lr) {
   }
 }
 
+OptimizerStateDict SgdMomentum::state_dict() {
+  OptimizerStateDict d;
+  d.kind = "sgd_momentum";
+  for (std::size_t i = 0; i < velocity_.size(); ++i)
+    d.tensors.emplace_back("velocity." + std::to_string(i), &velocity_[i]);
+  return d;
+}
+
 Adam::Adam(std::vector<Variable> params, float beta1, float beta2, float eps, float weight_decay)
     : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps),
       weight_decay_(weight_decay) {
@@ -103,6 +111,17 @@ void Adam::step(float lr) {
   }
 }
 
+OptimizerStateDict Adam::state_dict() {
+  OptimizerStateDict d;
+  d.kind = "adam";
+  for (std::size_t i = 0; i < m_.size(); ++i)
+    d.tensors.emplace_back("m." + std::to_string(i), &m_[i]);
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    d.tensors.emplace_back("v." + std::to_string(i), &v_[i]);
+  d.scalars.emplace_back("step", &t_);
+  return d;
+}
+
 Lars::Lars(std::vector<Variable> params, float momentum, float weight_decay, float eta)
     : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay), eta_(eta) {
   velocity_.reserve(params_.size());
@@ -127,6 +146,14 @@ void Lars::step(float lr) {
       w[j] -= v[j];
     }
   }
+}
+
+OptimizerStateDict Lars::state_dict() {
+  OptimizerStateDict d;
+  d.kind = "lars";
+  for (std::size_t i = 0; i < velocity_.size(); ++i)
+    d.tensors.emplace_back("velocity." + std::to_string(i), &velocity_[i]);
+  return d;
 }
 
 float clip_grad_norm(const std::vector<Variable>& params, float max_norm) {

@@ -66,6 +66,19 @@ class CosineLr final : public LrSchedule {
   std::int64_t total_steps_;
 };
 
+/// A named, ordered view of an optimizer's mutable state: the slot buffers
+/// (velocity / moment tensors, one per parameter, in parameter order) plus
+/// any integer scalars (e.g. Adam's bias-correction step count). The view
+/// aliases the optimizer's own storage, so it serves both introspection and
+/// in-place checkpoint restore. Names are stable ("velocity.3", "m.0",
+/// "step") and pinned by unit tests, so a checkpoint fails loudly — by name
+/// or shape mismatch — when the architecture or optimizer choice drifts.
+struct OptimizerStateDict {
+  std::string kind;  ///< "sgd_momentum", "adam", "lars"
+  std::vector<std::pair<std::string, tensor::Tensor*>> tensors;
+  std::vector<std::pair<std::string, std::int64_t*>> scalars;
+};
+
 /// Optimizer over a fixed parameter list. step(lr) consumes the gradients
 /// currently stored on the parameters; callers zero_grad() between batches.
 class Optimizer {
@@ -74,6 +87,11 @@ class Optimizer {
   virtual ~Optimizer() = default;
 
   virtual void step(float lr) = 0;
+
+  /// Full mutable training state beyond the parameters themselves. Every
+  /// optimizer must expose it — resumable training (checkpoint subsystem)
+  /// depends on slot buffers surviving a restart bit-for-bit.
+  virtual OptimizerStateDict state_dict() = 0;
 
   void zero_grad() {
     for (auto& p : params_) p.zero_grad();
@@ -99,6 +117,7 @@ class SgdMomentum final : public Optimizer {
               MomentumSemantics semantics = MomentumSemantics::kLrOutsideMomentum);
 
   void step(float lr) override;
+  OptimizerStateDict state_dict() override;
 
  private:
   float momentum_;
@@ -114,6 +133,7 @@ class Adam final : public Optimizer {
        float eps = 1e-8f, float weight_decay = 0.0f);
 
   void step(float lr) override;
+  OptimizerStateDict state_dict() override;
 
  private:
   float beta1_, beta2_, eps_, weight_decay_;
@@ -131,6 +151,7 @@ class Lars final : public Optimizer {
        float weight_decay = 1e-4f, float eta = 0.001f);
 
   void step(float lr) override;
+  OptimizerStateDict state_dict() override;
 
  private:
   float momentum_, weight_decay_, eta_;

@@ -48,6 +48,22 @@ class Rng {
   /// Derive an independent child stream (for per-worker determinism).
   Rng split();
 
+  /// Complete generator state, for checkpointing. Restoring a saved state
+  /// resumes the draw sequence exactly where it left off, including the
+  /// Box-Muller cached second normal — bitwise-identical continuation is the
+  /// contract the checkpoint subsystem's resume tests pin down.
+  struct State {
+    std::uint64_t state = 0;
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State save_state() const { return {state_, has_cached_normal_, cached_normal_}; }
+  void restore_state(const State& s) {
+    state_ = s.state;
+    has_cached_normal_ = s.has_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
+
  private:
   std::uint64_t state_;
   bool has_cached_normal_ = false;
