@@ -74,13 +74,23 @@ tensor::Tensor ByteReader::get_tensor() {
     throw CheckpointError("checkpoint section '" + section_ + "': implausible rank " +
                           std::to_string(rank));
   tensor::Shape shape(static_cast<std::size_t>(rank));
-  std::int64_t numel = 1;
   for (auto& d : shape) {
     d = get_i64();
     if (d < 0) throw CheckpointError("checkpoint section '" + section_ + "': negative extent");
-    numel *= d;
   }
-  if (static_cast<std::uint64_t>(numel) * sizeof(float) > remaining())
+  // Overflow-safe element count: cap numel at what the payload could possibly
+  // hold BEFORE each multiply, so corrupt extents can neither overflow the
+  // accumulator nor wrap the size check into a huge allocation.
+  const std::uint64_t max_numel = remaining() / sizeof(float);
+  std::uint64_t numel = 1;
+  for (auto d : shape) {
+    const auto ud = static_cast<std::uint64_t>(d);
+    if (ud != 0 && numel > max_numel / ud)
+      throw CheckpointError("checkpoint section '" + section_ +
+                            "' truncated inside tensor payload");
+    numel *= ud;
+  }
+  if (numel > max_numel)
     throw CheckpointError("checkpoint section '" + section_ +
                           "' truncated inside tensor payload");
   tensor::Tensor t(std::move(shape));

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -110,6 +111,8 @@ class ByteReader {
 class CheckpointWriter {
  public:
   /// Create (or retrieve, to keep appending) the section's payload builder.
+  /// Returned references stay valid across later section() calls, so callers
+  /// may hold several builders and interleave writes.
   ByteWriter& section(const std::string& name);
   bool has_section(const std::string& name) const;
 
@@ -121,7 +124,8 @@ class CheckpointWriter {
   void write_file(const std::string& path) const;
 
  private:
-  std::vector<std::pair<std::string, ByteWriter>> sections_;
+  // deque: section() hands out references that must survive later insertions.
+  std::deque<std::pair<std::string, ByteWriter>> sections_;
 };
 
 /// Parses and fully validates a checkpoint: magic, format version, and every

@@ -4,7 +4,42 @@
 #include <fstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define MLPERF_HAVE_FSYNC 1
+#endif
+
 namespace mlperf::core {
+
+namespace {
+
+#ifdef MLPERF_HAVE_FSYNC
+// Durability barrier: the temp file's bytes must reach stable storage before
+// the rename does, or a power loss can persist the rename ahead of the data
+// and leave a truncated file at the final path.
+void fsync_path(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    if (directory) return;  // best-effort: some filesystems refuse dir opens
+    throw std::runtime_error("atomic_write_file: cannot reopen " + path + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory)
+    throw std::runtime_error("atomic_write_file: fsync failed for " + path);
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+#endif
+
+}  // namespace
 
 void atomic_write_file(const std::string& path, const void* data, std::size_t size) {
   const std::string tmp = path + ".tmp";
@@ -19,10 +54,24 @@ void atomic_write_file(const std::string& path, const void* data, std::size_t si
       throw std::runtime_error("atomic_write_file: write failed for " + tmp);
     }
   }
+#ifdef MLPERF_HAVE_FSYNC
+  try {
+    fsync_path(tmp, /*directory=*/false);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("atomic_write_file: rename to " + path + " failed");
   }
+#ifdef MLPERF_HAVE_FSYNC
+  // Make the rename itself durable (best-effort: by this point the data is
+  // safe and the swap atomic; an unsynced directory can only lose the whole
+  // rename, which degenerates to "crash before save", never a torn file).
+  fsync_path(parent_dir(path), /*directory=*/true);
+#endif
 }
 
 std::vector<std::uint8_t> read_file_bytes(const std::string& path) {

@@ -8,9 +8,12 @@
 namespace mlperf::core {
 
 /// Crash-safe whole-file write: the bytes are written to `path + ".tmp"`,
-/// flushed, and renamed over `path`. POSIX rename within a directory is
-/// atomic, so a reader (or a process that crashes mid-write) only ever sees
-/// the old complete file or the new complete file — never a truncated one.
+/// fsynced, and renamed over `path` (then the directory is fsynced so the
+/// rename itself is durable). POSIX rename within a directory is atomic, so
+/// a reader (or a process that crashes mid-write) only ever sees the old
+/// complete file or the new complete file — never a truncated one; the
+/// fsync-before-rename ordering extends that guarantee to power loss, where
+/// an unsynced rename could otherwise be persisted ahead of the data.
 /// Throws std::runtime_error on any I/O failure (the temp file is removed).
 void atomic_write_file(const std::string& path, const void* data, std::size_t size);
 

@@ -80,6 +80,12 @@ RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& 
     outcome.final_quality = meta.get_f64();
     checkpoint::ByteReader curve = ckpt.section("curve");
     const std::uint64_t n_points = curve.get_u64();
+    // Each point is i64 + f64 + f64 = 24 bytes; a corrupt count must fail as
+    // a clean CheckpointError, not a length_error/bad_alloc from reserve.
+    if (n_points > curve.remaining() / 24)
+      throw checkpoint::CheckpointError(
+          "resume: curve section claims " + std::to_string(n_points) + " points but only " +
+          std::to_string(curve.remaining()) + " payload bytes remain");
     outcome.curve.reserve(static_cast<std::size_t>(n_points));
     for (std::uint64_t i = 0; i < n_points; ++i) {
       EpochPoint p;

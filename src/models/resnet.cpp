@@ -98,6 +98,7 @@ void ResNetWorkload::build_model(std::uint64_t seed) {
       config_.lr_decay_gamma, config_.lr_decay_epochs * steps_per_epoch);
   step_ = 0;
   epochs_trained_ = 0;
+  loader_epoch_base_ = 0;
   train_loader_.reset();
 }
 
@@ -180,11 +181,13 @@ void ResNetWorkload::save_state(checkpoint::CheckpointWriter& out) const {
     if (!train_loader_->epoch_exhausted())
       throw std::logic_error(
           "ResNetWorkload: checkpoint requested mid-epoch (loader not exhausted)");
-    loader.put_i64(train_loader_->epochs_started());
+    // epochs_started() counts this session only (the loader is rebuilt after
+    // a resume); add the restored base so the recorded count is cumulative.
+    loader.put_i64(loader_epoch_base_ + train_loader_->epochs_started());
     loader.put_i64(train_loader_->cursor());
     loader.put_i64(train_loader_->epoch_limit());
   } else {
-    loader.put_i64(0);
+    loader.put_i64(loader_epoch_base_);
     loader.put_i64(0);
     loader.put_i64(0);
   }
@@ -210,6 +213,9 @@ void ResNetWorkload::restore_state(const checkpoint::CheckpointReader& in) {
         " does not match trained epochs " + std::to_string(epochs_trained_));
   // The loader itself is rebuilt lazily on the next train_epoch; constructing
   // it from the restored rng replays the shuffle the uninterrupted run drew.
+  // The rebuilt loader counts epochs from zero, so remember the cumulative
+  // count it resumes from for the next generation's checkpoint.
+  loader_epoch_base_ = epochs_trained_;
   train_loader_.reset();
 }
 

@@ -129,6 +129,12 @@ class ResNetWorkload : public Workload {
   tensor::Rng rng_;
   std::int64_t step_ = 0;
   std::int64_t epochs_trained_ = 0;
+  /// Epochs the loader had started before this session began (restore_state
+  /// sets it to the cumulative epochs_trained_). The loader is rebuilt lazily
+  /// after a resume, so its epochs_started() counts this session only;
+  /// checkpoints record base + session so the audit stays cumulative across
+  /// any number of preempt/restart generations.
+  std::int64_t loader_epoch_base_ = 0;
   /// Persistent training loader, created lazily on the first train_epoch so
   /// the rng draw order (one permutation per epoch start, then the per-batch
   /// augmentation draws) is exactly the draw order of the historical

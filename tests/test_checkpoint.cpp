@@ -523,6 +523,51 @@ TEST(Resume, ProbabilisticFaultsStillConvergeIdentically) {
             final_weights_hash(*baseline_w, BenchmarkId::kRecommendation));
 }
 
+// Regression: a second-generation ResNet checkpoint (save -> restore -> train
+// -> save -> restore) used to record the rebuilt loader's session-local epoch
+// count against the cumulative trained-epoch count and reject its own file on
+// the second restore. Multi-restart runs must survive any number of
+// preemptions.
+TEST(Resume, ResnetSurvivesMultipleRestarts) {
+  const core::SuiteVersion suite = core::suite_v05();
+  const core::BenchmarkSpec& spec =
+      core::find_spec(suite, BenchmarkId::kImageClassification);
+  const core::QualityMetric target = harness::scaled_target(spec, WorkloadScale::kSmoke);
+  core::SteadyClock clock;
+
+  RunOptions opts;
+  opts.seed = 21;
+  opts.max_epochs = 40;
+  auto baseline_w = harness::make_reference_workload(BenchmarkId::kImageClassification,
+                                                     WorkloadScale::kSmoke);
+  const RunOutcome baseline = harness::run_to_target(*baseline_w, target, opts, clock);
+  ASSERT_TRUE(baseline.quality_reached);
+  ASSERT_GE(baseline.epochs, 3) << "smoke run too short for a double preemption";
+
+  RunOptions faulted = opts;
+  faulted.checkpoint_every_n_epochs = 1;
+  faulted.checkpoint_path = tmp_path("resnet_multi_restart.ckpt");
+  faulted.fault.per_epoch_fail_prob = 0.9;  // high enough to preempt every session
+  faulted.fault.seed = 77;
+  std::unique_ptr<models::Workload> current;
+  const RunOutcome resumed = harness::run_with_restarts(
+      [&] {
+        current = harness::make_reference_workload(BenchmarkId::kImageClassification,
+                                                   WorkloadScale::kSmoke);
+        return current.get();
+      },
+      target, faulted, clock, /*max_restarts=*/64);
+
+  ASSERT_GE(resumed.restarts, 2)
+      << "fault plan only preempted once; raise per_epoch_fail_prob or change seed";
+  EXPECT_TRUE(resumed.quality_reached);
+  EXPECT_EQ(resumed.epochs, baseline.epochs);
+  EXPECT_EQ(harness::outcome_fingerprint(resumed), harness::outcome_fingerprint(baseline));
+  EXPECT_EQ(final_weights_hash(*current, BenchmarkId::kImageClassification),
+            final_weights_hash(*baseline_w, BenchmarkId::kImageClassification))
+      << "multi-restart final weights differ bitwise from the uninterrupted run";
+}
+
 // ---------------------------------------------------------------------------
 // Loud rejection of unusable checkpoints (never silently loaded)
 // ---------------------------------------------------------------------------
