@@ -18,6 +18,9 @@
 #include "checkpoint/format.h"
 #include "checkpoint/state.h"
 #include "harness/reference.h"
+#include "models/ncf.h"
+#include "models/resnet.h"
+#include "models/transformer.h"
 #include "nn/functional.h"
 #include "nn/layers.h"
 #include "parallel/parallel_for.h"
@@ -219,6 +222,91 @@ static void BM_LstmCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LstmCell);
+
+// --- End-to-end train steps (BENCH_trainstep.json regenerates from these) ---
+// One complete training step per iteration — zero_grad, forward, loss,
+// backward, optimizer update — for three of the suite's reference models.
+// These are the numbers the tensor-pool / fused-update work moves: the
+// kernels themselves were PR 1/2; what remains per step is the allocation
+// and bookkeeping around them.
+
+static void BM_TrainStepResnet(benchmark::State& state) {
+  Rng rng(21);
+  tensor::Rng init_rng(7);
+  models::ResNetMini::Config cfg;  // defaults: 2 stages {8,16}, expansion 2
+  models::ResNetMini model(cfg, init_rng);
+  optim::SgdMomentum opt(model.parameters(), 0.9f, 5e-4f);
+  const std::int64_t batch = 8;
+  Tensor images = Tensor::randn({batch, cfg.in_channels, 16, 16}, rng);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(batch));
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<std::int64_t>(i) % cfg.num_classes;
+  for (auto _ : state) {
+    opt.zero_grad();
+    auto logits = model.forward(autograd::Variable(images));
+    auto loss = nn::cross_entropy(logits, labels);
+    loss.backward();
+    opt.step(0.01f);
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+}
+BENCHMARK(BM_TrainStepResnet);
+
+static void BM_TrainStepNcf(benchmark::State& state) {
+  tensor::Rng init_rng(8);
+  models::NeuMf::Config cfg;  // defaults: 64 users, 128 items
+  models::NeuMf model(cfg, init_rng);
+  optim::Adam opt(model.parameters());
+  const std::int64_t batch = 256;
+  std::vector<std::int64_t> users, items;
+  std::vector<float> labels;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    users.push_back(i % cfg.num_users);
+    items.push_back((i * 7) % cfg.num_items);
+    labels.push_back(i % 5 == 0 ? 1.0f : 0.0f);
+  }
+  for (auto _ : state) {
+    opt.zero_grad();
+    auto logits = model.forward(users, items);
+    auto loss = nn::bce_with_logits(logits, labels);
+    loss.backward();
+    opt.step(0.002f);
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+}
+BENCHMARK(BM_TrainStepNcf);
+
+static void BM_TrainStepTransformer(benchmark::State& state) {
+  tensor::Rng init_rng(9);
+  models::TransformerModel::Config cfg;  // defaults: dim 32, 2+2 blocks
+  models::TransformerModel model(cfg, init_rng);
+  optim::Adam opt(model.parameters());
+  const std::int64_t batch = 8, seq = 12;
+  std::vector<data::TokenSeq> src, tgt_in;
+  std::vector<std::int64_t> targets;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    data::TokenSeq s, t{data::kBos};
+    for (std::int64_t i = 0; i < seq; ++i) {
+      s.push_back(data::kFirstWord + (b * 3 + i) % (cfg.vocab - data::kFirstWord));
+      const std::int64_t tok = data::kFirstWord + (b * 5 + i) % (cfg.vocab - data::kFirstWord);
+      t.push_back(tok);
+      targets.push_back(tok);
+    }
+    targets.push_back(data::kEos);
+    src.push_back(std::move(s));
+    tgt_in.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    opt.zero_grad();
+    auto memory = model.encode(src);
+    auto logits = model.decode(tgt_in, memory);
+    auto loss = nn::cross_entropy(logits, targets);
+    loss.backward();
+    opt.step(0.003f);
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+}
+BENCHMARK(BM_TrainStepTransformer);
 
 // --- Checkpoint subsystem (BENCH_checkpoint.json regenerates from these) ---
 // Checkpoint writes land INSIDE the timed §3.2.1 run window, so their cost is

@@ -14,6 +14,8 @@
 //   --resume_from=FILE             resume a preempted run from this checkpoint
 //   --kill_after_epoch=K           fault injection: SIGKILL after epoch K
 //                                  (for crash-resume testing; exits 137)
+//   --pool_stats                   print tensor-pool counters after the run;
+//                                  CI greps the steady-state miss line
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +25,7 @@
 
 #include "harness/reference.h"
 #include "harness/run.h"
+#include "tensor/pool.h"
 
 using namespace mlperf;
 
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   std::string resume_from;
   long checkpoint_every = 0;
   long kill_after_epoch = -1;
+  bool pool_stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto flag_value = [&](const char* name) -> std::optional<std::string> {
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
       resume_from = *v;
     } else if (auto v = flag_value("kill_after_epoch")) {
       kill_after_epoch = std::strtol(v->c_str(), nullptr, 10);
+    } else if (arg == "--pool_stats") {
+      pool_stats = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 1;
@@ -135,5 +141,18 @@ int main(int argc, char** argv) {
   }
   std::printf("  ... (%zu events total; serialize with MlLog::serialize())\n",
               out.log.events().size());
+
+  if (pool_stats) {
+    const tensor::TensorPool::Stats ps = tensor::TensorPool::instance().stats();
+    std::printf("\ntensor pool: %lld hits, %lld misses, %lld bytes cached, "
+                "%lld bytes outstanding\n",
+                static_cast<long long>(ps.hits), static_cast<long long>(ps.misses),
+                static_cast<long long>(ps.bytes_cached),
+                static_cast<long long>(ps.bytes_outstanding));
+    // The line the CI smoke leg greps: misses past the first full epoch+eval
+    // iteration mean an allocation crept back into the steady-state loop.
+    std::printf("steady-state pool misses after warm-up: %lld\n",
+                static_cast<long long>(out.pool_steady_misses));
+  }
   return out.quality_reached ? 0 : 1;
 }

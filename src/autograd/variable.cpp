@@ -1,9 +1,12 @@
 #include "autograd/variable.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "tensor/pool.h"
 
 namespace mlperf::autograd {
 
@@ -13,6 +16,19 @@ using tensor::Tensor;
 namespace detail {
 
 void Node::accumulate_grad(const Tensor& g) {
+  if (!grad_initialized && g.shape() == value.shape()) {
+    // First touch: write g straight into a pooled buffer instead of
+    // zero-filling and adding. `0.0f + src` is the exact float-add the old
+    // zero+accumulate path performed (it normalizes -0.0 to +0.0, a raw
+    // copy would not), so the bits are unchanged.
+    grad = Tensor::uninitialized(value.shape());
+    float* dst = grad.data();
+    const float* src = g.data();
+    const std::int64_t n = grad.numel();
+    for (std::int64_t i = 0; i < n; ++i) dst[i] = 0.0f + src[i];
+    grad_initialized = true;
+    return;
+  }
   if (!grad_initialized) {
     grad = Tensor(value.shape());
     grad_initialized = true;
@@ -23,7 +39,13 @@ void Node::accumulate_grad(const Tensor& g) {
     const std::int64_t n = grad.numel();
     for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
   } else {
-    grad = grad.add(g.reduce_to(grad.shape()));
+    // In-place accumulate of the reduced gradient: the same float adds
+    // grad.add(r) would perform, minus its output allocation.
+    const Tensor r = g.reduce_to(grad.shape());
+    float* dst = grad.data();
+    const float* src = r.data();
+    const std::int64_t n = grad.numel();
+    for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
   }
 }
 
@@ -51,6 +73,11 @@ const Tensor& Variable::grad() const {
 }
 
 void Variable::zero_grad() {
+  if (node_->grad_initialized && node_->grad.same_shape(node_->value)) {
+    // Refill in place: same zero bits, no buffer churn.
+    std::fill(node_->grad.data(), node_->grad.data() + node_->grad.numel(), 0.0f);
+    return;
+  }
   node_->grad = Tensor(node_->value.shape());
   node_->grad_initialized = true;
 }
@@ -89,6 +116,49 @@ void Variable::backward(const Tensor& seed) const {
     detail::Node* n = *it;
     if (n->backward_fn && n->grad_initialized) n->backward_fn(n->grad);
   }
+  // The step's graph is spent: sever it now so interior buffers return to
+  // the TensorPool at backward completion instead of at the last Variable
+  // handle's death. Interior nodes drop their gradient, their backward
+  // closure (releasing captured activations), and their parent links —
+  // which cascade-destroys nodes no caller holds, returning their values
+  // too. Leaves keep their gradient for the optimizer, and any node the
+  // caller still holds keeps its value. Walking `order` forward (parents
+  // before children) keeps every raw pointer alive until its own entry:
+  // clearing n's parent links can only destroy nodes appearing earlier, or
+  // non-requires-grad ancestors that were never in `order` (a node with a
+  // requires-grad parent would itself require grad).
+  for (detail::Node* n : order) {
+    if (n->parents.empty()) continue;  // leaf: the optimizer reads its grad
+    n->grad = Tensor();
+    n->grad_initialized = false;
+    n->backward_fn = nullptr;
+    n->parents.clear();
+  }
+}
+
+namespace {
+std::atomic<std::int64_t> g_last_epoch_hits{0};
+std::atomic<std::int64_t> g_last_epoch_misses{0};
+}  // namespace
+
+GraphEpoch::GraphEpoch() {
+  const tensor::TensorPool::Stats s = tensor::TensorPool::instance().stats();
+  hits0_ = s.hits;
+  misses0_ = s.misses;
+}
+
+GraphEpoch::~GraphEpoch() {
+  const tensor::TensorPool::Stats s = tensor::TensorPool::instance().stats();
+  g_last_epoch_hits.store(s.hits - hits0_, std::memory_order_relaxed);
+  g_last_epoch_misses.store(s.misses - misses0_, std::memory_order_relaxed);
+}
+
+std::int64_t GraphEpoch::last_pool_misses() {
+  return g_last_epoch_misses.load(std::memory_order_relaxed);
+}
+
+std::int64_t GraphEpoch::last_pool_hits() {
+  return g_last_epoch_hits.load(std::memory_order_relaxed);
 }
 
 // ---- op helpers ------------------------------------------------------------
@@ -210,6 +280,27 @@ Variable relu(const Variable& a) {
   return Variable::from_op(a.value().relu(), {a}, [an](const Tensor& g) {
     Tensor masked = g.binary(an->value, [](float gv, float x) { return x > 0.0f ? gv : 0.0f; });
     an->accumulate_grad(masked);
+  });
+}
+
+Variable add_relu(const Variable& a, const Variable& b) {
+  // Forward is the add and the clamp fused into one binary pass: per element
+  // the same float add then the same compare/select the relu(add(a, b))
+  // chain performs, so the output bits are identical.
+  Tensor y = a.value().binary(b.value(), [](float x, float bv) {
+    const float s = x + bv;
+    return s > 0.0f ? s : 0.0f;
+  });
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::from_op(y, {a, b}, [an, bn, y](const Tensor& g) {
+    // y > 0 iff the pre-activation sum > 0 (y equals the sum where positive,
+    // 0 elsewhere; NaN compares false in both), so masking on the output is
+    // the unfused relu-backward mask — and the one masked tensor feeds both
+    // parents exactly as the unfused add node would pass it through.
+    Tensor masked = g.binary(y, [](float gv, float yv) { return yv > 0.0f ? gv : 0.0f; });
+    if (an->requires_grad) an->accumulate_grad(masked);
+    if (bn->requires_grad) bn->accumulate_grad(masked);
   });
 }
 
@@ -342,7 +433,7 @@ Variable softmax_last(const Variable& a) {
     // dL/dx = y * (g - sum(g*y, last))
     const std::int64_t last = y.shape().back();
     const std::int64_t rows = y.numel() / last;
-    Tensor dx(y.shape());
+    Tensor dx = Tensor::uninitialized(y.shape());  // every row written below
     for (std::int64_t r = 0; r < rows; ++r) {
       const float* yr = y.data() + r * last;
       const float* gr = g.data() + r * last;
@@ -363,7 +454,7 @@ Variable log_softmax_last(const Variable& a) {
     // dL/dx = g - softmax(x) * sum(g, last)
     const std::int64_t last = y.shape().back();
     const std::int64_t rows = y.numel() / last;
-    Tensor dx(y.shape());
+    Tensor dx = Tensor::uninitialized(y.shape());  // every row written below
     for (std::int64_t r = 0; r < rows; ++r) {
       const float* yr = y.data() + r * last;
       const float* gr = g.data() + r * last;
@@ -382,7 +473,8 @@ Variable embedding(const Variable& table, const std::vector<std::int64_t>& indic
   if (tv.ndim() != 2) throw std::invalid_argument("embedding(): table must be rank 2");
   const std::int64_t vocab = tv.shape()[0];
   const std::int64_t dim = tv.shape()[1];
-  Tensor out({static_cast<std::int64_t>(indices.size()), dim});
+  // Fully covered by the row copies below (indices are validated first).
+  Tensor out = Tensor::uninitialized({static_cast<std::int64_t>(indices.size()), dim});
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const std::int64_t row = indices[i];
     if (row < 0 || row >= vocab) throw std::out_of_range("embedding(): index out of range");

@@ -73,6 +73,31 @@ class Variable {
   std::shared_ptr<detail::Node> node_;
 };
 
+/// Step-scoped accounting marker, the graph-side analogue of
+/// `tensor::ScratchArena::Frame`: open one around a training step
+/// (forward + backward + update). On close it records the TensorPool
+/// hit/miss deltas observed during the step, which the steady-state
+/// zero-allocation pin tests and the harness's pool-stats run event read.
+/// The recycling itself is unconditional: `Variable::backward()` severs the
+/// spent graph as its final act, returning interior value/grad buffers and
+/// backward-closure captures to the pool whether or not an epoch is open.
+class GraphEpoch {
+ public:
+  GraphEpoch();
+  ~GraphEpoch();
+  GraphEpoch(const GraphEpoch&) = delete;
+  GraphEpoch& operator=(const GraphEpoch&) = delete;
+
+  /// Pool misses/hits observed during the most recently closed epoch
+  /// (process-wide; steady-state misses must be zero once the pool is warm).
+  static std::int64_t last_pool_misses();
+  static std::int64_t last_pool_hits();
+
+ private:
+  std::int64_t hits0_;
+  std::int64_t misses0_;
+};
+
 // ---- differentiable primitives -------------------------------------------
 // All binary ops broadcast like tensor::Tensor::binary and reduce gradients
 // back to each parent's shape.
@@ -92,6 +117,13 @@ Variable matmul(const Variable& a, const Variable& b, tensor::Trans ta = tensor:
 Variable bmm(const Variable& a, const Variable& b, tensor::Trans ta = tensor::Trans::N,
              tensor::Trans tb = tensor::Trans::N);
 Variable relu(const Variable& a);
+/// Fused relu(a + b) (broadcast like add): one pass forward, and backward
+/// computes the shared masked gradient once for both parents. Bitwise
+/// identical to relu(add(a, b)) — same adds, and masking on the output
+/// equals masking on the pre-activation sum — with one fewer graph node and
+/// intermediate buffer. Covers the two hottest chains: residual-add+ReLU
+/// (ResNet blocks) and bias+ReLU (Linear::forward_relu).
+Variable add_relu(const Variable& a, const Variable& b);
 Variable tanh_op(const Variable& a);
 Variable sigmoid(const Variable& a);
 Variable exp_op(const Variable& a);

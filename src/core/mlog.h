@@ -58,6 +58,12 @@ inline constexpr const char* kOptimizerName = "optimizer_name";
 // events make the charge auditable from the log alone).
 inline constexpr const char* kCheckpointSaved = "checkpoint_saved";
 inline constexpr const char* kCheckpointRestored = "checkpoint_restored";
+// Tensor-pool health at run_stop: value is the steady-state miss count (pool
+// misses after the first full epoch+eval iteration, which warms every
+// recurring buffer shape); meta carries cumulative hits/misses/bytes. Zero
+// steady-state misses is the "no allocations in the hot loop" invariant the
+// CI smoke leg enforces.
+inline constexpr const char* kTensorPoolStats = "tensor_pool_stats";
 }  // namespace keys
 
 /// Append-only structured log for one training session. Serializes to JSON

@@ -63,7 +63,11 @@ ImageBatch ImageLoader::assemble(std::int64_t begin, std::int64_t end, tensor::R
       set_->get(static_cast<std::int64_t>(order_[static_cast<std::size_t>(begin)]));
   const auto& ishape = first.image.shape();
   ImageBatch batch;
-  batch.images = Tensor({n, ishape[0], ishape[1], ishape[2]});
+  // Every element is covered by the per-example copies below, so the batch
+  // buffer can come from the pool without zero-fill. Producer-thread acquire /
+  // consumer-thread release recycles through the pool's shared (not TLS) tier
+  // because batch buffers exceed kSharedBucketFloats.
+  batch.images = Tensor::uninitialized({n, ishape[0], ishape[1], ishape[2]});
   batch.labels.resize(static_cast<std::size_t>(n));
   const std::int64_t img_numel = first.image.numel();
   for (std::int64_t b = 0; b < n; ++b) {
@@ -136,7 +140,8 @@ ImageBatch make_batch(const std::vector<const ImageExample*>& examples) {
   const auto& ishape = examples[0]->image.shape();
   const std::int64_t n = static_cast<std::int64_t>(examples.size());
   ImageBatch batch;
-  batch.images = Tensor({n, ishape[0], ishape[1], ishape[2]});
+  // Fully overwritten by the copies below — pooled, no zero-fill.
+  batch.images = Tensor::uninitialized({n, ishape[0], ishape[1], ishape[2]});
   batch.labels.resize(examples.size());
   const std::int64_t img_numel = examples[0]->image.numel();
   for (std::int64_t b = 0; b < n; ++b) {

@@ -5,6 +5,7 @@
 #include "checkpoint/format.h"
 #include "checkpoint/state.h"
 #include "parallel/parallel_for.h"
+#include "tensor/pool.h"
 #include "tensor/rng.h"
 
 namespace mlperf::harness {
@@ -148,6 +149,11 @@ RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& 
                         (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(first_epoch + 1)));
 
   const double run_start_ms = log.find(core::keys::kRunStart)->time_ms;
+  // Tensor-pool warm-up boundary: the first full iteration (train + eval +
+  // possible checkpoint) touches every recurring buffer shape, so its misses
+  // are expected. A miss AFTER this snapshot means a fresh allocation crept
+  // into the steady-state loop; -1 until the first iteration completes.
+  std::int64_t pool_warm_misses = -1;
   for (std::int64_t epoch = first_epoch; epoch < options.max_epochs; ++epoch) {
     log.log(clock.now_ms(), core::keys::kEpochStart, static_cast<double>(epoch));
     log.log(clock.now_ms(), core::keys::kDataTouch, std::string("train"),
@@ -178,6 +184,9 @@ RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& 
     if (checkpointing && (epoch + 1) % options.checkpoint_every_n_epochs == 0)
       save_checkpoint(epoch + 1);
 
+    if (pool_warm_misses < 0)
+      pool_warm_misses = tensor::TensorPool::instance().stats().misses;
+
     if (options.fault.enabled()) {
       bool fire = options.fault.kill_after_epoch >= 0 &&
                   epoch + 1 == options.fault.kill_after_epoch;
@@ -192,6 +201,14 @@ RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& 
     }
   }
   timer.stop_run();
+  const tensor::TensorPool::Stats pool_stats = tensor::TensorPool::instance().stats();
+  if (pool_warm_misses >= 0)
+    outcome.pool_steady_misses = pool_stats.misses - pool_warm_misses;
+  log.log(clock.now_ms(), core::keys::kTensorPoolStats,
+          static_cast<double>(outcome.pool_steady_misses),
+          {{"hits", std::to_string(pool_stats.hits)},
+           {"misses", std::to_string(pool_stats.misses)},
+           {"bytes_cached", std::to_string(pool_stats.bytes_cached)}});
   log.log(clock.now_ms(), core::keys::kQualityReached, outcome.quality_reached);
   outcome.time_to_train_ms = timer.time_to_train_ms();
   outcome.unexcluded_time_ms = timer.unexcluded_time_ms();

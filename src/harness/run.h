@@ -99,6 +99,11 @@ struct RunOutcome {
   std::int64_t restarts = 0;             ///< filled by run_with_restarts
   std::int64_t resumed_from_epoch = -1;  ///< -1 when not resumed
   std::int64_t checkpoints_written = 0;
+  /// Tensor-pool misses AFTER the first full train+eval iteration (the
+  /// warm-up that populates the pool with every recurring buffer shape).
+  /// Zero in steady state; 0 as well when the run lasted a single epoch
+  /// (nothing past warm-up to measure).
+  std::int64_t pool_steady_misses = 0;
 };
 
 /// Run one workload to the quality target under the paper's timing rules:

@@ -164,7 +164,7 @@ MaskRcnnModel::RoiOutput MaskRcnnModel::box_head(const Variable& roi_feats) {
   const std::int64_t r = roi_feats.shape()[0];
   Variable flat = autograd::reshape(
       roi_feats, {r, config_.feat_channels * config_.roi_pool * config_.roi_pool});
-  Variable h = autograd::relu(fc1_.forward(flat));
+  Variable h = fc1_.forward_relu(flat);  // fused bias+ReLU
   return {fc_cls_.forward(h), fc_box_.forward(h)};
 }
 

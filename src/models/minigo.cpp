@@ -71,13 +71,13 @@ PolicyValueNet::Output PolicyValueNet::forward(const Variable& planes) {
   for (auto& blk : blocks_) {
     Variable y = autograd::relu(blk.b1->forward(blk.c1->forward(x)));
     y = blk.b2->forward(blk.c2->forward(y));
-    x = autograd::relu(autograd::add(x, y));
+    x = autograd::add_relu(x, y);  // fused residual-add+ReLU
   }
   Variable p = autograd::relu(policy_bn_.forward(policy_conv_.forward(x)));
   Variable policy = policy_fc_.forward(autograd::reshape(p, {n, 2 * bs * bs}));
   Variable v = autograd::relu(value_bn_.forward(value_conv_.forward(x)));
   Variable value = autograd::tanh_op(
-      value_fc2_.forward(autograd::relu(value_fc1_.forward(autograd::reshape(v, {n, bs * bs})))));
+      value_fc2_.forward(value_fc1_.forward_relu(autograd::reshape(v, {n, bs * bs}))));
   return {policy, value};
 }
 

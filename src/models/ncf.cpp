@@ -37,9 +37,10 @@ Variable NeuMf::forward(const std::vector<std::int64_t>& users,
   if (users.size() != items.size()) throw std::invalid_argument("NeuMf: size mismatch");
   Variable gmf = autograd::mul(user_gmf_.forward(users), item_gmf_.forward(items));
   // MLP tower: first layer over concat(u, i) == W_u u + W_i i + b.
-  Variable h = autograd::relu(autograd::add(mlp_u1_.forward(user_mlp_.forward(users)),
-                                            mlp_i1_.forward(item_mlp_.forward(items))));
-  h = autograd::relu(mlp2_.forward(h));
+  // Both ReLUs use the fused add_relu path (bitwise identical, one pass).
+  Variable h = autograd::add_relu(mlp_u1_.forward(user_mlp_.forward(users)),
+                                  mlp_i1_.forward(item_mlp_.forward(items)));
+  h = mlp2_.forward_relu(h);
   // Output over concat(gmf, mlp) == out_gmf(gmf) + out_mlp(mlp).
   return autograd::add(out_gmf_.forward(gmf), out_mlp_.forward(h));
 }
@@ -68,6 +69,7 @@ void NcfWorkload::train_epoch() {
   std::vector<float> labels;
   auto flush = [&] {
     if (users.empty()) return;
+    autograd::GraphEpoch epoch_scope;  // step-scoped pool instrumentation
     Variable logits = model_->forward(users, items);
     Variable loss = nn::bce_with_logits(logits, labels);
     optimizer_->zero_grad();

@@ -36,7 +36,8 @@ Variable BottleneckBlock::forward(const Variable& x) {
   y = autograd::relu(bn2_.forward(conv2_.forward(y)));
   y = bn3_.forward(conv3_.forward(y));  // v1.5: add AFTER batch norm
   Variable skip = proj_ ? proj_bn_->forward(proj_->forward(x)) : x;
-  return autograd::relu(autograd::add(y, skip));
+  // Fused residual-add+ReLU: one pass, bitwise identical to relu(add(..)).
+  return autograd::add_relu(y, skip);
 }
 
 ResNetMini::ResNetMini(const Config& config, tensor::Rng& rng)
@@ -118,6 +119,9 @@ void ResNetWorkload::train_epoch() {
   const bool quantized = config_.weight_format != numerics::Format::kFP32;
   std::vector<autograd::Variable> params = model_->parameters();
   while (loader.has_next()) {
+    // Step-scoped pool instrumentation: after warm-up every buffer this step
+    // allocates should come from the pool (GraphEpoch::last_pool_misses()==0).
+    autograd::GraphEpoch epoch_scope;
     data::ImageBatch batch = loader.next();
     // Figure-1 emulation: master weights stay fp32; forward/backward see the
     // quantized copy, and the update is re-quantized afterwards.

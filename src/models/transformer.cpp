@@ -38,7 +38,7 @@ Variable TransformerBlock::forward(const Variable& x, const Variable* memory) {
   }
   const std::int64_t b = y.shape()[0], t = y.shape()[1], d = y.shape()[2];
   Variable flat = autograd::reshape(y, {b * t, d});
-  Variable ff = ff2_.forward(autograd::relu(ff1_.forward(flat)));
+  Variable ff = ff2_.forward(ff1_.forward_relu(flat));  // fused bias+ReLU
   return ln3_.forward(autograd::add(y, autograd::reshape(ff, {b, t, d})));
 }
 
@@ -185,6 +185,7 @@ void TransformerWorkload::train_epoch() {
   rng_.shuffle(batches);
 
   for (const auto& [bkt, off] : batches) {
+    autograd::GraphEpoch epoch_scope;  // step-scoped pool instrumentation
     const auto& bucket = length_buckets_[bkt];
     const std::size_t end =
         std::min(off + static_cast<std::size_t>(config_.batch_size), bucket.size());

@@ -26,6 +26,11 @@ Variable Linear::forward(const Variable& x) const {
   return y;
 }
 
+Variable Linear::forward_relu(const Variable& x) const {
+  Variable y = autograd::matmul(x, weight, tensor::Trans::N, tensor::Trans::T);
+  return bias.numel() > 0 ? autograd::add_relu(y, bias) : autograd::relu(y);
+}
+
 // ---- Conv2d -----------------------------------------------------------------
 
 Conv2d::Conv2d(std::int64_t in_ch, std::int64_t out_ch, std::int64_t kernel,

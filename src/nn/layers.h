@@ -14,6 +14,9 @@ class Linear : public Module {
          bool bias = true);
 
   autograd::Variable forward(const autograd::Variable& x) const;
+  /// relu(forward(x)) with the bias-add and the clamp fused into one pass
+  /// (autograd::add_relu) — bitwise identical to the unfused chain.
+  autograd::Variable forward_relu(const autograd::Variable& x) const;
 
   autograd::Variable weight;  ///< [out, in]
   autograd::Variable bias;    ///< [out] or empty

@@ -117,6 +117,10 @@ class SgdMomentum final : public Optimizer {
               MomentumSemantics semantics = MomentumSemantics::kLrOutsideMomentum);
 
   void step(float lr) override;
+  /// Reference per-element update. step() is a fused single-sweep kernel that
+  /// must produce exactly these bits (pinned by refcheck tests); this method
+  /// is retained as the executable specification.
+  void step_unfused(float lr);
   OptimizerStateDict state_dict() override;
 
  private:
@@ -133,6 +137,8 @@ class Adam final : public Optimizer {
        float eps = 1e-8f, float weight_decay = 0.0f);
 
   void step(float lr) override;
+  /// Reference per-element update; step() must match it bitwise (refchecked).
+  void step_unfused(float lr);
   OptimizerStateDict state_dict() override;
 
  private:
@@ -151,6 +157,8 @@ class Lars final : public Optimizer {
        float weight_decay = 1e-4f, float eta = 0.001f);
 
   void step(float lr) override;
+  /// Reference per-element update; step() must match it bitwise (refchecked).
+  void step_unfused(float lr);
   OptimizerStateDict state_dict() override;
 
  private:

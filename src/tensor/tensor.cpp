@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "parallel/parallel_for.h"
+#include "tensor/pool.h"
 #include "tensor/scratch.h"
 
 namespace mlperf::tensor {
@@ -16,10 +17,10 @@ namespace {
 
 [[noreturn]] void fail(const std::string& msg) { throw std::invalid_argument("Tensor: " + msg); }
 
-// Elementwise kernels split at this many elements per subrange; ordered
-// reductions use fixed chunks of this size (boundaries never depend on the
-// thread count, so float accumulation is bitwise stable — see parallel_reduce).
-constexpr std::int64_t kElemGrain = std::int64_t{1} << 15;
+// Ordered reductions use fixed chunks of this size (boundaries never depend
+// on the thread count, so float accumulation is bitwise stable — see
+// parallel_reduce). Disjoint-write elementwise kernels split at
+// Tensor::kElemGrain (tensor.h).
 constexpr std::int64_t kReduceGrain = std::int64_t{1} << 16;
 
 std::string shape_str(const Shape& s) {
@@ -45,11 +46,15 @@ std::int64_t Tensor::shape_numel(const Shape& s) {
 }
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
-  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+  const std::int64_t n = shape_numel(shape_);
+  data_ = TensorPool::instance().acquire(n);
+  data_.assign(static_cast<std::size_t>(n), 0.0f);
 }
 
 Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)) {
-  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), fill);
+  const std::int64_t n = shape_numel(shape_);
+  data_ = TensorPool::instance().acquire(n);
+  data_.assign(static_cast<std::size_t>(n), fill);
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
@@ -59,20 +64,60 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
          shape_str(shape_));
 }
 
+Tensor::~Tensor() { TensorPool::instance().release(std::move(data_)); }
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  data_ = TensorPool::instance().acquire(static_cast<std::int64_t>(other.data_.size()));
+  data_.assign(other.data_.begin(), other.data_.end());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    shape_ = other.shape_;
+    if (data_.capacity() < other.data_.size()) {
+      TensorPool::instance().release(std::move(data_));
+      data_ = TensorPool::instance().acquire(static_cast<std::int64_t>(other.data_.size()));
+    }
+    data_.assign(other.data_.begin(), other.data_.end());
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    TensorPool::instance().release(std::move(data_));
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+  }
+  return *this;
+}
+
+Tensor Tensor::uninitialized(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  const std::int64_t n = shape_numel(t.shape_);
+  t.data_ = TensorPool::instance().acquire(n);
+  // Recycled buffers keep their released size, so within a bucket this
+  // resize writes nothing (shrink) or zero-fills only the gap (grow) —
+  // amortized free once the pool is warm.
+  t.data_.resize(static_cast<std::size_t>(n));
+  return t;
+}
+
 Tensor Tensor::arange(std::int64_t n) {
-  Tensor t({n});
+  Tensor t = uninitialized({n});
   for (std::int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = uninitialized(std::move(shape));
   for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
   return t;
 }
 
 Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = uninitialized(std::move(shape));
   for (auto& v : t.data_) v = rng.uniform(lo, hi);
   return t;
 }
@@ -128,7 +173,9 @@ Tensor Tensor::reshape(Shape new_shape) const {
     new_shape[static_cast<std::size_t>(infer_at)] = numel() / known;
   }
   if (shape_numel(new_shape) != numel()) fail("reshape(): numel mismatch");
-  return Tensor(std::move(new_shape), data_);
+  Tensor out(*this);  // pooled copy (the old Tensor(shape, data_) bypassed the pool)
+  out.shape_ = std::move(new_shape);
+  return out;
 }
 
 Tensor Tensor::permute(const std::vector<std::int64_t>& dims) const {
@@ -141,21 +188,37 @@ Tensor Tensor::permute(const std::vector<std::int64_t>& dims) const {
     seen[static_cast<std::size_t>(d)] = true;
     new_shape[i] = shape_[static_cast<std::size_t>(d)];
   }
-  Tensor out(new_shape);
+  Tensor out = uninitialized(new_shape);  // every element written below
   const auto in_st = strides();
   const auto out_st = out.strides();
+  const std::size_t rank = dims.size();
+  // Input stride of each OUTPUT dimension.
+  std::vector<std::int64_t> src_st(rank);
+  for (std::size_t i = 0; i < rank; ++i)
+    src_st[i] = in_st[static_cast<std::size_t>(dims[i])];
   const std::int64_t n = numel();
+  const float* src_p = data();
+  float* dst = out.data();
   parallel::parallel_for(kElemGrain, n, [&](std::int64_t begin, std::int64_t end) {
+    // Odometer over OUTPUT coordinates: decompose `begin` once, then advance
+    // with carries — no per-element div/mod. Pure data movement, so the
+    // result is identical to the naive per-element decomposition.
+    std::vector<std::int64_t> coord(rank, 0);
+    std::int64_t si = 0, rem = begin;
+    for (std::size_t d = 0; d < rank; ++d) {
+      coord[d] = rem / out_st[d];
+      rem %= out_st[d];
+      si += coord[d] * src_st[d];
+    }
     for (std::int64_t flat = begin; flat < end; ++flat) {
-      // Decompose flat index of the OUTPUT, map back to input.
-      std::int64_t rem = flat;
-      std::int64_t src = 0;
-      for (std::size_t i = 0; i < dims.size(); ++i) {
-        const std::int64_t coord = rem / out_st[i];
-        rem %= out_st[i];
-        src += coord * in_st[static_cast<std::size_t>(dims[i])];
+      dst[flat] = src_p[si];
+      for (std::size_t d = rank; d-- > 0;) {
+        ++coord[d];
+        si += src_st[d];
+        if (coord[d] < new_shape[d]) break;
+        si -= coord[d] * src_st[d];
+        coord[d] = 0;
       }
-      out.data_[static_cast<std::size_t>(flat)] = data_[static_cast<std::size_t>(src)];
     }
   });
   return out;
@@ -179,10 +242,10 @@ Tensor Tensor::slice0(std::int64_t begin, std::int64_t end) const {
   Shape out_shape = shape_;
   out_shape[0] = end - begin;
   const std::int64_t row = numel() / std::max<std::int64_t>(shape_[0], 1);
-  std::vector<float> out(static_cast<std::size_t>((end - begin) * row));
+  Tensor out = uninitialized(std::move(out_shape));  // fully covered by the copy
   std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * row),
-            data_.begin() + static_cast<std::ptrdiff_t>(end * row), out.begin());
-  return Tensor(std::move(out_shape), std::move(out));
+            data_.begin() + static_cast<std::ptrdiff_t>(end * row), out.data_.begin());
+  return out;
 }
 
 Tensor Tensor::cat0(const std::vector<Tensor>& parts) {
@@ -196,7 +259,7 @@ Tensor Tensor::cat0(const std::vector<Tensor>& parts) {
     total0 += p.shape_[0];
   }
   out_shape[0] = total0;
-  Tensor out(out_shape);
+  Tensor out = uninitialized(out_shape);  // the part copies cover every element
   std::size_t pos = 0;
   for (const auto& p : parts) {
     std::copy(p.data_.begin(), p.data_.end(), out.data_.begin() + static_cast<std::ptrdiff_t>(pos));
@@ -218,19 +281,10 @@ Shape Tensor::broadcast_shape(const Shape& a, const Shape& b) {
   return out;
 }
 
-Tensor Tensor::binary(const Tensor& o, const std::function<float(float, float)>& f) const {
-  if (shape_ == o.shape_) {  // fast path
-    Tensor out(shape_);
-    parallel::parallel_for(kElemGrain, numel(), [&](std::int64_t begin, std::int64_t end) {
-      for (std::int64_t i = begin; i < end; ++i)
-        out.data_[static_cast<std::size_t>(i)] =
-            f(data_[static_cast<std::size_t>(i)], o.data_[static_cast<std::size_t>(i)]);
-    });
-    return out;
-  }
-  const Shape out_shape = broadcast_shape(shape_, o.shape_);
-  Tensor out(out_shape);
-  const std::size_t rank = out_shape.size();
+Tensor::BroadcastPlan Tensor::broadcast_plan(const Tensor& a, const Tensor& b) {
+  BroadcastPlan plan;
+  plan.shape = broadcast_shape(a.shape_, b.shape_);
+  const std::size_t rank = plan.shape.size();
   // Right-aligned strides with 0 for broadcast dims.
   auto bc_strides = [&](const Tensor& t) {
     std::vector<std::int64_t> st(rank, 0);
@@ -239,29 +293,22 @@ Tensor Tensor::binary(const Tensor& o, const std::function<float(float, float)>&
     for (std::size_t i = 0; i < tr; ++i) {
       const std::size_t d = tr - 1 - i;             // dim in t
       const std::size_t od = rank - 1 - i;          // dim in out
-      st[od] = (t.shape_[d] == 1 && out_shape[od] != 1) ? 0 : run;
+      st[od] = (t.shape_[d] == 1 && plan.shape[od] != 1) ? 0 : run;
       run *= t.shape_[d];
     }
     return st;
   };
-  const auto sa = bc_strides(*this);
-  const auto sb = bc_strides(o);
-  const auto so = out.strides();
-  const std::int64_t n = out.numel();
-  parallel::parallel_for(kElemGrain, n, [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t flat = begin; flat < end; ++flat) {
-      std::int64_t rem = flat, ia = 0, ib = 0;
-      for (std::size_t d = 0; d < rank; ++d) {
-        const std::int64_t coord = rem / so[d];
-        rem %= so[d];
-        ia += coord * sa[d];
-        ib += coord * sb[d];
-      }
-      out.data_[static_cast<std::size_t>(flat)] =
-          f(data_[static_cast<std::size_t>(ia)], o.data_[static_cast<std::size_t>(ib)]);
-    }
-  });
-  return out;
+  plan.sa = bc_strides(a);
+  plan.sb = bc_strides(b);
+  plan.so.assign(rank, 1);
+  for (std::size_t i = rank; i-- > 1;) plan.so[i - 1] = plan.so[i] * plan.shape[i];
+  return plan;
+}
+
+Tensor Tensor::binary(const Tensor& o, const std::function<float(float, float)>& f) const {
+  // Delegate to the template overload: same iteration order, same arithmetic,
+  // only the per-element dispatch differs — bitwise identical results.
+  return binary(o, [&f](float a, float b) { return f(a, b); });
 }
 
 Tensor Tensor::reduce_to(const Shape& target) const {
@@ -271,6 +318,37 @@ Tensor Tensor::reduce_to(const Shape& target) const {
     fail("reduce_to(): target " + shape_str(target) + " does not broadcast to " +
          shape_str(shape_));
   Tensor out(target);
+  const std::int64_t n = numel();
+  const std::int64_t tn = out.numel();
+  const float* src = data();
+  float* dst = out.data();
+  // All paths accumulate in ascending flat order of the source — output slots
+  // overlap, and per-slot accumulation order is part of the bitwise contract.
+  if (tn == 1) {
+    // Everything folds into one slot; a register accumulator performs the
+    // exact same chain of float adds as the generic path.
+    float acc = dst[0];
+    for (std::int64_t flat = 0; flat < n; ++flat) acc += src[flat];
+    dst[0] = acc;
+    return out;
+  }
+  // Fast path: target matches a trailing run of our dims exactly (the classic
+  // bias-gradient shape, e.g. [N,F] -> [F] or [B,T,D] -> [D]). Ascending flat
+  // order visits each output slot with ascending leading index — precisely
+  // the generic path's per-slot accumulation order.
+  {
+    bool trailing = tn > 0 && target.size() <= shape_.size();
+    for (std::size_t i = 0; trailing && i < target.size(); ++i)
+      trailing = target[target.size() - 1 - i] == shape_[shape_.size() - 1 - i];
+    if (trailing) {
+      const std::int64_t rows = n / tn;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* row = src + r * tn;
+        for (std::int64_t c = 0; c < tn; ++c) dst[c] += row[c];
+      }
+      return out;
+    }
+  }
   const std::size_t rank = shape_.size();
   std::vector<std::int64_t> tstrides(rank, 0);
   {
@@ -283,16 +361,19 @@ Tensor Tensor::reduce_to(const Shape& target) const {
       run *= target[d];
     }
   }
-  const auto st = strides();
-  const std::int64_t n = numel();
+  // Odometer over source coordinates: same visit order as the old per-element
+  // div/mod decomposition, without the div/mod.
+  std::vector<std::int64_t> coord(rank, 0);
+  std::int64_t ti = 0;
   for (std::int64_t flat = 0; flat < n; ++flat) {
-    std::int64_t rem = flat, ti = 0;
-    for (std::size_t d = 0; d < rank; ++d) {
-      const std::int64_t coord = rem / st[d];
-      rem %= st[d];
-      ti += coord * tstrides[d];
+    dst[ti] += src[flat];
+    for (std::size_t d = rank; d-- > 0;) {
+      ++coord[d];
+      ti += tstrides[d];
+      if (coord[d] < shape_[d]) break;
+      ti -= coord[d] * tstrides[d];
+      coord[d] = 0;
     }
-    out.data_[static_cast<std::size_t>(ti)] += data_[static_cast<std::size_t>(flat)];
   }
   return out;
 }
@@ -305,12 +386,8 @@ Tensor Tensor::mul_scalar(float s) const {
 }
 
 Tensor Tensor::map(const std::function<float(float)>& f) const {
-  Tensor out(shape_);
-  parallel::parallel_for(kElemGrain, numel(), [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t i = begin; i < end; ++i)
-      out.data_[static_cast<std::size_t>(i)] = f(data_[static_cast<std::size_t>(i)]);
-  });
-  return out;
+  // Delegate to the template overload (see binary above).
+  return map([&f](float x) { return f(x); });
 }
 
 Tensor Tensor::neg() const {
@@ -407,7 +484,7 @@ Tensor reduce_axis(const Tensor& t, std::int64_t axis, bool keepdim, Init init, 
     }
   }
   if (out_shape.empty()) out_shape.push_back(1);
-  Tensor out(out_shape);
+  Tensor out = Tensor::uninitialized(out_shape);  // every dst[r] written below
   const float* src = t.data();
   float* dst = out.data();
   // Each output element folds its axis in the original order, so splitting
@@ -522,7 +599,7 @@ Tensor Tensor::softmax_last() const {
   if (ndim() < 1) fail("softmax_last(): rank 0");
   const std::int64_t last = shape_.back();
   const std::int64_t rows = numel() / std::max<std::int64_t>(last, 1);
-  Tensor out(shape_);
+  Tensor out = uninitialized(shape_);  // every row fully written below
   parallel::parallel_for(
       parallel::grain_for(4 * last), rows, [&](std::int64_t begin, std::int64_t end) {
         for (std::int64_t r = begin; r < end; ++r) {
@@ -545,7 +622,7 @@ Tensor Tensor::log_softmax_last() const {
   if (ndim() < 1) fail("log_softmax_last(): rank 0");
   const std::int64_t last = shape_.back();
   const std::int64_t rows = numel() / std::max<std::int64_t>(last, 1);
-  Tensor out(shape_);
+  Tensor out = uninitialized(shape_);  // every row fully written below
   parallel::parallel_for(
       parallel::grain_for(4 * last), rows, [&](std::int64_t begin, std::int64_t end) {
         for (std::int64_t r = begin; r < end; ++r) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "parallel/parallel_for.h"
 #include "tensor/gemm.h"
 #include "tensor/rng.h"
 
@@ -35,6 +36,16 @@ class Tensor {
   /// Tensor adopting the given data (size must match the shape's numel).
   Tensor(Shape shape, std::vector<float> data);
 
+  /// Value semantics, with storage recycled through the TensorPool: the
+  /// destructor parks the buffer on a free list, copies and the filling
+  /// constructors draw from it. Only the storage's origin changes — fill
+  /// and copy semantics (and therefore numerics) are untouched.
+  ~Tensor();
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept;
+
   // ----- factories ---------------------------------------------------------
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
@@ -46,6 +57,11 @@ class Tensor {
   static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
   /// I.i.d. U[lo, hi) entries.
   static Tensor rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  /// Tensor whose elements are NOT initialized (recycled buffers carry stale
+  /// values). Strictly for producers that overwrite every element before the
+  /// tensor escapes — never for accumulation targets (GEMM `C +=`,
+  /// scatter-add gradients), which rely on the zero fill of Tensor(Shape).
+  static Tensor uninitialized(Shape shape);
 
   // ----- structure ---------------------------------------------------------
   const Shape& shape() const { return shape_; }
@@ -90,6 +106,54 @@ class Tensor {
   Tensor mul_scalar(float s) const;
   /// General broadcast binary op (NumPy right-aligned broadcast rules).
   Tensor binary(const Tensor& o, const std::function<float(float, float)>& f) const;
+  /// Statically-typed overload: the functor inlines into the element loop
+  /// instead of going through a per-element std::function dispatch. Iteration
+  /// order and arithmetic are identical to the std::function overload (which
+  /// now delegates here), so the bits are too — this is pure dispatch cost.
+  template <typename F>
+  Tensor binary(const Tensor& o, F f) const {
+    if (shape_ == o.shape_) {  // same-shape fast path
+      Tensor out = uninitialized(shape_);
+      const float* pa = data();
+      const float* pb = o.data();
+      float* po = out.data();
+      parallel::parallel_for(kElemGrain, numel(), [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) po[i] = f(pa[i], pb[i]);
+      });
+      return out;
+    }
+    const BroadcastPlan plan = broadcast_plan(*this, o);
+    Tensor out = uninitialized(plan.shape);
+    const std::size_t rank = plan.shape.size();
+    const float* pa = data();
+    const float* pb = o.data();
+    float* po = out.data();
+    parallel::parallel_for(kElemGrain, out.numel(), [&](std::int64_t begin, std::int64_t end) {
+      // Odometer iteration: decompose `begin` once, then advance coordinates
+      // incrementally — no per-element div/mod.
+      std::vector<std::int64_t> coord(rank, 0);
+      std::int64_t ia = 0, ib = 0, rem = begin;
+      for (std::size_t d = 0; d < rank; ++d) {
+        coord[d] = rem / plan.so[d];
+        rem %= plan.so[d];
+        ia += coord[d] * plan.sa[d];
+        ib += coord[d] * plan.sb[d];
+      }
+      for (std::int64_t flat = begin; flat < end; ++flat) {
+        po[flat] = f(pa[ia], pb[ib]);
+        for (std::size_t d = rank; d-- > 0;) {
+          ++coord[d];
+          ia += plan.sa[d];
+          ib += plan.sb[d];
+          if (coord[d] < plan.shape[d]) break;
+          ia -= coord[d] * plan.sa[d];
+          ib -= coord[d] * plan.sb[d];
+          coord[d] = 0;
+        }
+      }
+    });
+    return out;
+  }
   /// Shape of broadcasting `a` with `b`; throws if incompatible.
   static Shape broadcast_shape(const Shape& a, const Shape& b);
   /// Sum this tensor down to `target` shape (reverse of broadcast).
@@ -97,6 +161,17 @@ class Tensor {
 
   // ----- unary maps ---------------------------------------------------------
   Tensor map(const std::function<float(float)>& f) const;
+  /// Statically-typed overload of map (see the binary overload).
+  template <typename F>
+  Tensor map(F f) const {
+    Tensor out = uninitialized(shape_);
+    const float* ps = data();
+    float* po = out.data();
+    parallel::parallel_for(kElemGrain, numel(), [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) po[i] = f(ps[i]);
+    });
+    return out;
+  }
   Tensor neg() const;
   Tensor relu() const;
   Tensor exp() const;
@@ -147,9 +222,24 @@ class Tensor {
   bool all_finite() const;
   std::string to_string(std::int64_t max_elems = 32) const;
 
+  /// Elementwise kernels split at this many elements per parallel subrange.
+  /// Boundaries never affect bits for disjoint-write ops; ordered reductions
+  /// use their own fixed chunking (see tensor.cpp).
+  static constexpr std::int64_t kElemGrain = std::int64_t{1} << 15;
+
  private:
   Shape shape_;
   std::vector<float> data_;
+
+  /// Precomputed right-aligned broadcast strides (0 on broadcast dims) for
+  /// the template binary()'s odometer loop.
+  struct BroadcastPlan {
+    Shape shape;                      ///< broadcast output shape
+    std::vector<std::int64_t> sa;     ///< strides into `a`
+    std::vector<std::int64_t> sb;     ///< strides into `b`
+    std::vector<std::int64_t> so;     ///< contiguous strides of `shape`
+  };
+  static BroadcastPlan broadcast_plan(const Tensor& a, const Tensor& b);
 
   static std::int64_t shape_numel(const Shape& s);
   std::vector<std::int64_t> strides() const;

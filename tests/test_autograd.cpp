@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 namespace mlperf::autograd {
@@ -217,6 +218,63 @@ TEST(AutogradChain, WeightGradientThroughDeepChain) {
         return sum_axis(h2, 0);
       },
       Tensor::randn({4, 3}, rng, 0.0f, 0.5f));
+}
+
+// ---- fused add_relu --------------------------------------------------------
+
+void expect_same_bits(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.numel(), b.numel());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(AddRelu, BitwiseIdenticalToUnfusedChain) {
+  Rng rng(31);
+  const Tensor xa = Tensor::randn({6, 9}, rng);
+  const Tensor xb = Tensor::randn({6, 9}, rng);
+
+  Variable a1(xa, true), b1(xb, true);
+  Variable fused = add_relu(a1, b1);
+  Variable loss1 = sum_all(mul(fused, fused));
+  loss1.backward();
+
+  Variable a2(xa, true), b2(xb, true);
+  Variable unfused = relu(add(a2, b2));
+  Variable loss2 = sum_all(mul(unfused, unfused));
+  loss2.backward();
+
+  expect_same_bits(fused.value(), unfused.value());
+  expect_same_bits(a1.grad(), a2.grad());
+  expect_same_bits(b1.grad(), b2.grad());
+}
+
+TEST(AddRelu, BroadcastBiasMatchesUnfusedBitwise) {
+  // The Linear::forward_relu shape: [N, F] activations + [F] bias. The fused
+  // backward hands ONE masked tensor to both parents; reduce_to inside
+  // accumulate_grad must shrink it to the bias exactly as the unfused chain.
+  Rng rng(37);
+  const Tensor xa = Tensor::randn({5, 4}, rng);
+  const Tensor xb = Tensor::randn({4}, rng);
+
+  Variable a1(xa, true), b1(xb, true);
+  Variable fused = add_relu(a1, b1);
+  fused.backward(Tensor(fused.shape(), 1.0f));
+
+  Variable a2(xa, true), b2(xb, true);
+  Variable unfused = relu(add(a2, b2));
+  unfused.backward(Tensor(unfused.shape(), 1.0f));
+
+  expect_same_bits(fused.value(), unfused.value());
+  expect_same_bits(a1.grad(), a2.grad());
+  expect_same_bits(b1.grad(), b2.grad());
+}
+
+TEST(AddRelu, GradcheckAwayFromKink) {
+  Rng rng(41);
+  const Tensor other = Tensor::randn({3, 5}, rng, 2.0f, 0.25f);  // keep s > 0
+  gradcheck([&](const Variable& v) { return add_relu(v, Variable(other)); },
+            Tensor::rand({3, 5}, rng, 0.5f, 1.5f));
 }
 
 }  // namespace

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <string>
+
+#include "tensor/rng.h"
 
 namespace mlperf::optim {
 namespace {
@@ -228,6 +233,82 @@ TEST_P(OptimizerConvergence, ReducesQuadraticLoss) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Starts, OptimizerConvergence, ::testing::Values(1, 2, 3, -4, 5, -6));
+
+// ---- fused-vs-unfused bitwise refchecks ------------------------------------
+//
+// step() is a fused single-sweep kernel; step_unfused() is the retained
+// per-element reference. The contract is BITWISE equality — same weights,
+// same slot buffers, after multiple steps with a decaying LR (the regime
+// where momentum semantics and accumulated state diverge fastest). The big
+// parameter exceeds the ordered-reduction chunk (1<<16 floats) so LARS's
+// fused pair-norm exercises the multi-chunk combine path.
+
+std::vector<Variable> make_twin(tensor::Rng& rng) {
+  // Recreate from an identical rng stream so both twins start bit-equal.
+  std::vector<Variable> params;
+  params.push_back(Variable(Tensor::randn({7}, rng), true));
+  params.push_back(Variable(Tensor::randn({300, 220}, rng), true));  // > 1<<16
+  params.push_back(Variable(Tensor::randn({33}, rng), true));
+  return params;
+}
+
+void load_grads(std::vector<Variable>& params, tensor::Rng& rng) {
+  for (auto& p : params) {
+    p.zero_grad();
+    const Tensor g = Tensor::randn(p.shape(), rng);
+    std::copy(g.data(), g.data() + g.numel(), p.node()->grad.data());
+  }
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what;
+}
+
+template <typename Opt, typename... Args>
+void check_fused_matches_unfused(Args... args) {
+  tensor::Rng init_a(123), init_b(123);
+  std::vector<Variable> pa = make_twin(init_a);
+  std::vector<Variable> pb = make_twin(init_b);
+  Opt fused(pa, args...);
+  Opt reference(pb, args...);
+  const float lrs[] = {0.1f, 0.1f, 0.05f, 0.05f, 0.025f, 0.0125f};
+  tensor::Rng grad_a(456), grad_b(456);
+  for (float lr : lrs) {
+    load_grads(pa, grad_a);
+    load_grads(pb, grad_b);
+    fused.step(lr);
+    reference.step_unfused(lr);
+  }
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    expect_bitwise_equal(pa[i].value(), pb[i].value(), "param " + std::to_string(i));
+  OptimizerStateDict da = fused.state_dict();
+  OptimizerStateDict db = reference.state_dict();
+  ASSERT_EQ(da.tensors.size(), db.tensors.size());
+  for (std::size_t i = 0; i < da.tensors.size(); ++i)
+    expect_bitwise_equal(*da.tensors[i].second, *db.tensors[i].second, da.tensors[i].first);
+}
+
+TEST(FusedOptimizer, SgdLrInsideMomentumMatchesReferenceBitwise) {
+  check_fused_matches_unfused<SgdMomentum>(0.9f, 1e-4f,
+                                           MomentumSemantics::kLrInsideMomentum);
+}
+
+TEST(FusedOptimizer, SgdLrOutsideMomentumMatchesReferenceBitwise) {
+  check_fused_matches_unfused<SgdMomentum>(0.9f, 1e-4f,
+                                           MomentumSemantics::kLrOutsideMomentum);
+}
+
+TEST(FusedOptimizer, AdamMatchesReferenceBitwise) {
+  check_fused_matches_unfused<Adam>(0.9f, 0.999f, 1e-8f, 1e-5f);
+}
+
+TEST(FusedOptimizer, LarsMatchesReferenceBitwise) {
+  check_fused_matches_unfused<Lars>(0.9f, 1e-4f, 0.001f);
+}
 
 }  // namespace
 }  // namespace mlperf::optim
