@@ -179,6 +179,84 @@ static void BM_Conv2dTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dTrainStep)->Arg(8)->Arg(16);
 
+// The weight-gradient pass in isolation (forward excluded via PauseTiming):
+// the gemm_f64acc + pack-cache target of PR 5, previously a naive unblocked
+// double dot-product loop plus a per-sample im2col re-pack.
+static void BM_Conv2dDw(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Rng rng(13);
+  Tensor x = Tensor::randn({4, c, 16, 16}, rng);
+  Tensor w = Tensor::randn({c, c, 3, 3}, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    autograd::Variable vw(w, true);
+    auto y = nn::conv2d(autograd::Variable(x), vw, autograd::Variable(), 1, 1);
+    Tensor seed(y.shape(), 1.0f);
+    state.ResumeTiming();
+    y.backward(seed);
+    benchmark::DoNotOptimize(vw.grad().data());
+  }
+}
+BENCHMARK(BM_Conv2dDw)->Arg(8)->Arg(16);
+
+// Full conv train step with the step-scoped im2col pack cache off (Arg 0) and
+// on (Arg 1). Doubles as the CI smoke check of the cache contract: the run
+// errors out unless im2col_calls() advanced by exactly one sweep per step
+// cached and two uncached.
+static void BM_Im2colPackCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  nn::set_conv_pack_cache(cached);
+  Rng rng(14);
+  Tensor x = Tensor::randn({4, 8, 16, 16}, rng);
+  Tensor w = Tensor::randn({8, 8, 3, 3}, rng);
+  std::int64_t steps = 0;
+  const std::int64_t calls0 = nn::im2col_calls();
+  for (auto _ : state) {
+    autograd::Variable vw(w, true);
+    auto y = nn::conv2d(autograd::Variable(x), vw, autograd::Variable(), 1, 1);
+    autograd::sum_all(y).backward();
+    benchmark::DoNotOptimize(vw.grad().data());
+    ++steps;
+  }
+  const std::int64_t sweeps = nn::im2col_calls() - calls0;
+  if (sweeps != (cached ? steps : 2 * steps))
+    state.SkipWithError("im2col_calls() violates the pack-cache contract");
+  nn::set_conv_pack_cache(true);
+}
+BENCHMARK(BM_Im2colPackCache)->Arg(0)->Arg(1);
+
+// Attention's softmax: the fused scale+mask+softmax node vs the three-node
+// chain it replaced (bitwise-identical outputs; this pair measures the win).
+static void BM_FusedScaledSoftmax(benchmark::State& state) {
+  const std::int64_t t = state.range(0);
+  Rng rng(15);
+  Tensor scores = Tensor::randn({16, t, t}, rng);
+  Tensor mask = Tensor::uninitialized({t, t});
+  for (std::int64_t i = 0; i < t; ++i)
+    for (std::int64_t j = 0; j < t; ++j) mask[i * t + j] = j > i ? -1e9f : 0.0f;
+  for (auto _ : state) {
+    auto y = nn::fused_scaled_softmax(autograd::Variable(scores), 0.125f, mask);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_FusedScaledSoftmax)->Arg(32)->Arg(64);
+
+static void BM_ScaledSoftmaxUnfusedRef(benchmark::State& state) {
+  const std::int64_t t = state.range(0);
+  Rng rng(15);
+  Tensor scores = Tensor::randn({16, t, t}, rng);
+  Tensor mask = Tensor::uninitialized({t, t});
+  for (std::int64_t i = 0; i < t; ++i)
+    for (std::int64_t j = 0; j < t; ++j) mask[i * t + j] = j > i ? -1e9f : 0.0f;
+  for (auto _ : state) {
+    auto s = autograd::mul_scalar(autograd::Variable(scores), 0.125f);
+    s = autograd::add(s, autograd::Variable(mask));
+    auto y = autograd::softmax_last(s);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_ScaledSoftmaxUnfusedRef)->Arg(32)->Arg(64);
+
 static void BM_SoftmaxLast(benchmark::State& state) {
   Rng rng(4);
   Tensor x = Tensor::randn({256, state.range(0)}, rng);

@@ -16,6 +16,12 @@
 //                                  (for crash-resume testing; exits 137)
 //   --pool_stats                   print tensor-pool counters after the run;
 //                                  CI greps the steady-state miss line
+//   --op_profile                   per-op cumulative time profile: prints one
+//                                  line per instrumented op after the run
+//                                  (also emitted as op_profile log events)
+//   --conv_pack_cache=0|1          step-scoped im2col pack cache (default 1);
+//                                  CI greps the im2col_calls line to pin the
+//                                  one-sweep-per-conv-layer-per-step contract
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,8 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "core/op_profile.h"
 #include "harness/reference.h"
 #include "harness/run.h"
+#include "nn/functional.h"
 #include "tensor/pool.h"
 
 using namespace mlperf;
@@ -36,6 +44,8 @@ int main(int argc, char** argv) {
   long checkpoint_every = 0;
   long kill_after_epoch = -1;
   bool pool_stats = false;
+  bool op_profile = false;
+  bool conv_pack_cache = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto flag_value = [&](const char* name) -> std::optional<std::string> {
@@ -53,6 +63,10 @@ int main(int argc, char** argv) {
       kill_after_epoch = std::strtol(v->c_str(), nullptr, 10);
     } else if (arg == "--pool_stats") {
       pool_stats = true;
+    } else if (arg == "--op_profile") {
+      op_profile = true;
+    } else if (auto v = flag_value("conv_pack_cache")) {
+      conv_pack_cache = std::strtol(v->c_str(), nullptr, 10) != 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 1;
@@ -111,6 +125,9 @@ int main(int argc, char** argv) {
     opts.fault.action = harness::FaultPlan::Action::kSigkill;
     std::printf("fault injection armed: SIGKILL after epoch %ld\n", kill_after_epoch);
   }
+  opts.op_profile = op_profile;
+  opts.conv_pack_cache = conv_pack_cache;
+  if (!conv_pack_cache) std::printf("im2col pack cache disabled\n");
   std::printf("intra-op threads: %lld\n\n", static_cast<long long>(opts.num_threads));
   const harness::RunOutcome out =
       harness::run_to_target(*workload, spec.mini_quality, opts);
@@ -153,6 +170,18 @@ int main(int argc, char** argv) {
     // iteration mean an allocation crept back into the steady-state loop.
     std::printf("steady-state pool misses after warm-up: %lld\n",
                 static_cast<long long>(out.pool_steady_misses));
+    // The pack-cache contract line CI greps: with the cache on, every conv
+    // train step costs one im2col sweep per conv layer; uncached, two.
+    std::printf("im2col sweeps: %lld (pack cache %s, %lld bytes live)\n",
+                static_cast<long long>(nn::im2col_calls()),
+                nn::conv_pack_cache_enabled() ? "on" : "off",
+                static_cast<long long>(nn::conv_pack_cache_live_bytes()));
+  }
+  if (op_profile) {
+    std::printf("\nper-op cumulative time (summed across worker threads):\n");
+    for (const auto& e : core::OpProfile::snapshot())
+      std::printf("  %-18s %10lld calls  %12.3f ms\n", e.name,
+                  static_cast<long long>(e.calls), static_cast<double>(e.total_ns) * 1e-6);
   }
   return out.quality_reached ? 0 : 1;
 }

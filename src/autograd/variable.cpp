@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "parallel/parallel_for.h"
 #include "tensor/pool.h"
 
 namespace mlperf::autograd {
@@ -434,15 +435,19 @@ Variable softmax_last(const Variable& a) {
     const std::int64_t last = y.shape().back();
     const std::int64_t rows = y.numel() / last;
     Tensor dx = Tensor::uninitialized(y.shape());  // every row written below
-    for (std::int64_t r = 0; r < rows; ++r) {
-      const float* yr = y.data() + r * last;
-      const float* gr = g.data() + r * last;
-      float* dr = dx.data() + r * last;
-      double dot = 0.0;
-      for (std::int64_t j = 0; j < last; ++j) dot += static_cast<double>(yr[j]) * gr[j];
-      for (std::int64_t j = 0; j < last; ++j)
-        dr[j] = yr[j] * (gr[j] - static_cast<float>(dot));
-    }
+    // Row-parallel with disjoint writes — bitwise the sequential loop.
+    parallel::parallel_for(
+        parallel::grain_for(4 * last), rows, [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t r = begin; r < end; ++r) {
+            const float* yr = y.data() + r * last;
+            const float* gr = g.data() + r * last;
+            float* dr = dx.data() + r * last;
+            double dot = 0.0;
+            for (std::int64_t j = 0; j < last; ++j) dot += static_cast<double>(yr[j]) * gr[j];
+            for (std::int64_t j = 0; j < last; ++j)
+              dr[j] = yr[j] * (gr[j] - static_cast<float>(dot));
+          }
+        });
     an->accumulate_grad(dx);
   });
 }
@@ -455,15 +460,19 @@ Variable log_softmax_last(const Variable& a) {
     const std::int64_t last = y.shape().back();
     const std::int64_t rows = y.numel() / last;
     Tensor dx = Tensor::uninitialized(y.shape());  // every row written below
-    for (std::int64_t r = 0; r < rows; ++r) {
-      const float* yr = y.data() + r * last;
-      const float* gr = g.data() + r * last;
-      float* dr = dx.data() + r * last;
-      double gsum = 0.0;
-      for (std::int64_t j = 0; j < last; ++j) gsum += gr[j];
-      for (std::int64_t j = 0; j < last; ++j)
-        dr[j] = gr[j] - std::exp(yr[j]) * static_cast<float>(gsum);
-    }
+    // Row-parallel with disjoint writes — bitwise the sequential loop.
+    parallel::parallel_for(
+        parallel::grain_for(4 * last), rows, [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t r = begin; r < end; ++r) {
+            const float* yr = y.data() + r * last;
+            const float* gr = g.data() + r * last;
+            float* dr = dx.data() + r * last;
+            double gsum = 0.0;
+            for (std::int64_t j = 0; j < last; ++j) gsum += gr[j];
+            for (std::int64_t j = 0; j < last; ++j)
+              dr[j] = gr[j] - std::exp(yr[j]) * static_cast<float>(gsum);
+          }
+        });
     an->accumulate_grad(dx);
   });
 }

@@ -64,6 +64,12 @@ inline constexpr const char* kCheckpointRestored = "checkpoint_restored";
 // steady-state misses is the "no allocations in the hot loop" invariant the
 // CI smoke leg enforces.
 inline constexpr const char* kTensorPoolStats = "tensor_pool_stats";
+// Per-op cumulative time profile at run_stop (RunOptions::op_profile): one
+// event per instrumented op, value = total nanoseconds summed across worker
+// threads (CPU-time-style attribution), meta carries the op name and call
+// count. Makes hot-path claims (e.g. "the ResNet step is dW-bounded") in
+// EXPERIMENTS.md reproducible from a run log.
+inline constexpr const char* kOpProfile = "op_profile";
 }  // namespace keys
 
 /// Append-only structured log for one training session. Serializes to JSON

@@ -1,0 +1,57 @@
+#include "core/op_profile.h"
+
+#include <atomic>
+
+namespace mlperf::core {
+
+namespace {
+
+constexpr int kSlots = static_cast<int>(ProfiledOp::kCount);
+
+constexpr const char* kOpNames[kSlots] = {
+    "im2col",      "col2im",  "conv_forward",  "conv_dw",
+    "conv_dx",     "conv_db", "softmax_fused", "softmax_fused_bwd",
+};
+
+struct Slot {
+  std::atomic<std::int64_t> calls{0};
+  std::atomic<std::int64_t> ns{0};
+};
+
+std::atomic<bool> g_enabled{false};
+std::array<Slot, kSlots>& slots() {
+  static std::array<Slot, kSlots> s;
+  return s;
+}
+
+}  // namespace
+
+void OpProfile::set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool OpProfile::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void OpProfile::reset() {
+  for (Slot& s : slots()) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+void OpProfile::add(ProfiledOp op, std::int64_t ns) {
+  Slot& s = slots()[static_cast<std::size_t>(op)];
+  s.calls.fetch_add(1, std::memory_order_relaxed);
+  s.ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::vector<OpProfile::Entry> OpProfile::snapshot() {
+  std::vector<Entry> out;
+  for (int i = 0; i < kSlots; ++i) {
+    const Slot& s = slots()[static_cast<std::size_t>(i)];
+    const std::int64_t calls = s.calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    out.push_back({kOpNames[i], calls, s.ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+}  // namespace mlperf::core

@@ -4,6 +4,8 @@
 
 #include "checkpoint/format.h"
 #include "checkpoint/state.h"
+#include "core/op_profile.h"
+#include "nn/functional.h"
 #include "parallel/parallel_for.h"
 #include "tensor/pool.h"
 #include "tensor/rng.h"
@@ -21,6 +23,9 @@ RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& 
                            "' does not support checkpointing");
 
   parallel::set_num_threads(options.num_threads);
+  nn::set_conv_pack_cache(options.conv_pack_cache, options.conv_pack_cache_cap_bytes);
+  if (options.op_profile) core::OpProfile::reset();
+  core::OpProfile::set_enabled(options.op_profile);
   RunOutcome outcome;
   core::TrainingTimer timer(clock, outcome.log, options.model_creation_cap_ms);
   core::MlLog& log = outcome.log;
@@ -209,6 +214,12 @@ RunOutcome run_to_target(models::Workload& workload, const core::QualityMetric& 
           {{"hits", std::to_string(pool_stats.hits)},
            {"misses", std::to_string(pool_stats.misses)},
            {"bytes_cached", std::to_string(pool_stats.bytes_cached)}});
+  if (options.op_profile) {
+    for (const core::OpProfile::Entry& e : core::OpProfile::snapshot())
+      log.log(clock.now_ms(), core::keys::kOpProfile, static_cast<double>(e.total_ns),
+              {{"op", e.name}, {"calls", std::to_string(e.calls)}});
+    core::OpProfile::set_enabled(false);
+  }
   log.log(clock.now_ms(), core::keys::kQualityReached, outcome.quality_reached);
   outcome.time_to_train_ms = timer.time_to_train_ms();
   outcome.unexcluded_time_ms = timer.unexcluded_time_ms();

@@ -82,6 +82,15 @@ struct RunOptions {
   /// reported time-to-train spans the whole preempt/restart history.
   std::string resume_from;
   FaultPlan fault;
+  /// Step-scoped im2col pack cache (nn::set_conv_pack_cache): conv2d forward
+  /// keeps its patch slabs alive for the dW backward instead of re-running
+  /// im2col. Purely a memory/speed knob — gradients are bitwise identical
+  /// either way — capped at `conv_pack_cache_cap_bytes` of live slabs.
+  bool conv_pack_cache = true;
+  std::int64_t conv_pack_cache_cap_bytes = std::int64_t{256} << 20;
+  /// Reset and enable the per-op time profile (core::OpProfile) for this run
+  /// and emit one `op_profile` mlog event per instrumented op at run_stop.
+  bool op_profile = false;
 };
 
 /// The outcome of one training session.

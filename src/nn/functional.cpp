@@ -1,10 +1,13 @@
 #include "nn/functional.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
+#include "core/op_profile.h"
 #include "nn/module.h"
 #include "parallel/parallel_for.h"
 #include "tensor/gemm.h"
@@ -96,7 +99,42 @@ void col2im_accumulate(const float* cols, const ConvDims& d, std::int64_t stride
   }
 }
 
+// ---- step-scoped im2col pack cache -----------------------------------------
+
+std::atomic<std::int64_t> g_im2col_calls{0};
+std::atomic<bool> g_pack_cache_enabled{true};
+std::atomic<std::int64_t> g_pack_cache_cap{std::int64_t{256} << 20};
+std::atomic<std::int64_t> g_pack_cache_live{0};
+
+// One forward's im2col patch slabs, [N, col_rows*col_cols]. The backward
+// closure holds the only owning reference, so Variable::backward()'s graph
+// teardown (or plain graph destruction) is what releases the buffer back to
+// the TensorPool — the cache is scoped to the step by construction, no
+// explicit invalidation step exists or is needed.
+struct PackCache {
+  tensor::Tensor cols;
+  std::int64_t bytes = 0;
+  ~PackCache() { g_pack_cache_live.fetch_sub(bytes, std::memory_order_relaxed); }
+};
+
 }  // namespace
+
+void set_conv_pack_cache(bool enabled, std::int64_t cap_bytes) {
+  g_pack_cache_enabled.store(enabled, std::memory_order_relaxed);
+  g_pack_cache_cap.store(cap_bytes, std::memory_order_relaxed);
+}
+
+bool conv_pack_cache_enabled() { return g_pack_cache_enabled.load(std::memory_order_relaxed); }
+
+std::int64_t conv_pack_cache_cap_bytes() {
+  return g_pack_cache_cap.load(std::memory_order_relaxed);
+}
+
+std::int64_t conv_pack_cache_live_bytes() {
+  return g_pack_cache_live.load(std::memory_order_relaxed);
+}
+
+std::int64_t im2col_calls() { return g_im2col_calls.load(std::memory_order_relaxed); }
 
 Variable conv2d(const Variable& input, const Variable& weight, const Variable& bias,
                 std::int64_t stride, std::int64_t padding) {
@@ -107,31 +145,58 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
   const std::int64_t col_rows = d.c * d.kh * d.kw;
   const std::int64_t col_cols = d.oh * d.ow;
   Tensor out({d.n, d.o, d.oh, d.ow});
+
+  // When backward will need dW, keep this forward's patch slabs alive so the
+  // dW pass reads them instead of re-running im2col per sample. An op whose
+  // slab would push the global live total past the cap just runs uncached.
+  std::shared_ptr<PackCache> cache;
+  if (weight.requires_grad() && g_pack_cache_enabled.load(std::memory_order_relaxed)) {
+    const std::int64_t bytes =
+        d.n * col_rows * col_cols * static_cast<std::int64_t>(sizeof(float));
+    if (g_pack_cache_live.load(std::memory_order_relaxed) + bytes <=
+        g_pack_cache_cap.load(std::memory_order_relaxed)) {
+      cache = std::make_shared<PackCache>();
+      // Every slab is fully written by im2col below before the op returns.
+      cache->cols = Tensor::uninitialized({d.n, col_rows * col_cols});
+      cache->bytes = bytes;
+      g_pack_cache_live.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+
   // Split over samples: each sample's output slab is written by exactly one
   // task with a kernel whose per-element accumulation order is fixed, so
-  // results are bitwise identical at any thread count. The im2col column
-  // buffer and the GEMM pack panels live in the task's scratch arena and are
-  // reused across samples and steps.
-  parallel::parallel_for(
-      parallel::grain_for(d.o * col_rows * col_cols), d.n,
-      [&](std::int64_t s_begin, std::int64_t s_end) {
-        tensor::ScratchArena::Frame frame(tensor::ScratchArena::tls());
-        float* cols = frame.alloc(col_rows * col_cols);
-        float* bp = frame.alloc(tensor::gemm_packed_b_size(col_rows, col_cols));
-        for (std::int64_t s = s_begin; s < s_end; ++s) {
-          im2col(input.value().data() + s * d.c * d.h * d.w, d, stride, padding, cols);
-          tensor::gemm_pack_b(tensor::Trans::N, cols, col_cols, col_rows, col_cols, bp);
-          tensor::gemm_packed(tensor::Trans::N, weight.value().data(), col_rows, bp, d.o,
-                              col_cols, col_rows, out.data() + s * d.o * col_cols, col_cols);
-          if (has_bias) {
-            for (std::int64_t o = 0; o < d.o; ++o) {
-              const float b = bias.value()[o];
-              float* dst = out.data() + (s * d.o + o) * col_cols;
-              for (std::int64_t i = 0; i < col_cols; ++i) dst[i] += b;
+  // results are bitwise identical at any thread count. The GEMM pack panels
+  // (and, uncached, the im2col column buffer) live in the task's scratch
+  // arena and are reused across samples and steps.
+  g_im2col_calls.fetch_add(1, std::memory_order_relaxed);
+  {
+    core::OpTimer op_timer(core::ProfiledOp::kConvForward);
+    parallel::parallel_for(
+        parallel::grain_for(d.o * col_rows * col_cols), d.n,
+        [&](std::int64_t s_begin, std::int64_t s_end) {
+          tensor::ScratchArena::Frame frame(tensor::ScratchArena::tls());
+          float* scratch_cols = cache ? nullptr : frame.alloc(col_rows * col_cols);
+          float* bp = frame.alloc(tensor::gemm_packed_b_size(col_rows, col_cols));
+          for (std::int64_t s = s_begin; s < s_end; ++s) {
+            float* cols =
+                cache ? cache->cols.data() + s * col_rows * col_cols : scratch_cols;
+            {
+              core::OpTimer t(core::ProfiledOp::kIm2col);
+              im2col(input.value().data() + s * d.c * d.h * d.w, d, stride, padding, cols);
+            }
+            tensor::gemm_pack_b(tensor::Trans::N, cols, col_cols, col_rows, col_cols, bp);
+            tensor::gemm_packed(tensor::Trans::N, weight.value().data(), col_rows, bp, d.o,
+                                col_cols, col_rows, out.data() + s * d.o * col_cols, col_cols);
+            if (has_bias) {
+              for (std::int64_t o = 0; o < d.o; ++o) {
+                const float b = bias.value()[o];
+                float* dst = out.data() + (s * d.o + o) * col_cols;
+                for (std::int64_t i = 0; i < col_cols; ++i) dst[i] += b;
+              }
             }
           }
-        }
-      });
+        });
+  }
 
   auto in_node = input.node();
   auto w_node = weight.node();
@@ -140,7 +205,7 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
   if (has_bias) parents.push_back(bias);
   return Variable::from_op(
       std::move(out), std::move(parents),
-      [in_node, w_node, b_node, d, stride, padding, has_bias](const Tensor& g) {
+      [in_node, w_node, b_node, d, stride, padding, has_bias, cache](const Tensor& g) {
         const std::int64_t col_rows = d.c * d.kh * d.kw;
         const std::int64_t col_cols = d.oh * d.ow;
         const bool need_w = w_node->requires_grad;
@@ -156,40 +221,49 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
         // read only after the parallel_for joins.
         tensor::ScratchArena::Frame caller_frame(tensor::ScratchArena::tls());
         float* dw_partials = need_w ? caller_frame.alloc(d.n * wnumel) : nullptr;
+        const bool repack = need_w && !cache;
+        if (repack) g_im2col_calls.fetch_add(1, std::memory_order_relaxed);
         parallel::parallel_for(
             parallel::grain_for(d.o * col_rows * col_cols), d.n,
             [&](std::int64_t s_begin, std::int64_t s_end) {
               tensor::ScratchArena::Frame frame(tensor::ScratchArena::tls());
-              float* cols = need_w ? frame.alloc(col_rows * col_cols) : nullptr;
+              float* scratch_cols = repack ? frame.alloc(col_rows * col_cols) : nullptr;
               float* dcols = need_x ? frame.alloc(col_rows * col_cols) : nullptr;
               for (std::int64_t s = s_begin; s < s_end; ++s) {
                 const float* gs = g.data() + s * d.o * col_cols;
                 if (need_w) {
-                  im2col(in_node->value.data() + s * d.c * d.h * d.w, d, stride, padding, cols);
-                  // dW_s[o, col_rows] = g_s[o, col_cols] * cols^T[col_cols, col_rows].
-                  // Kept as double-precision dot products (not the float GEMM):
-                  // the wider accumulator is part of the numerics contract the
-                  // seed established for weight gradients.
-                  float* dws = dw_partials + s * wnumel;
-                  for (std::int64_t o = 0; o < d.o; ++o) {
-                    const float* grow = gs + o * col_cols;
-                    float* wrow = dws + o * col_rows;
-                    for (std::int64_t r = 0; r < col_rows; ++r) {
-                      const float* crow = cols + r * col_cols;
-                      double acc = 0.0;
-                      for (std::int64_t q = 0; q < col_cols; ++q) acc += grow[q] * crow[q];
-                      wrow[r] = static_cast<float>(acc);
-                    }
+                  const float* cols;
+                  if (cache) {
+                    cols = cache->cols.data() + s * col_rows * col_cols;
+                  } else {
+                    core::OpTimer t(core::ProfiledOp::kIm2col);
+                    im2col(in_node->value.data() + s * d.c * d.h * d.w, d, stride, padding,
+                           scratch_cols);
+                    cols = scratch_cols;
                   }
+                  // dW_s[o, col_rows] = g_s[o, col_cols] * cols^T[col_cols, col_rows]
+                  // through the packed double-accumulator kernel. gemm_f64acc
+                  // keeps the float product / double ascending-k fold of the
+                  // naive dot-product loop this replaces, so the weight
+                  // gradient is bitwise unchanged (tests/test_gemm.cpp pins
+                  // the kernel, tests/test_parallel.cpp the conv trajectory).
+                  core::OpTimer t(core::ProfiledOp::kConvDw);
+                  tensor::gemm_f64acc(tensor::Trans::N, tensor::Trans::T, d.o, col_rows,
+                                      col_cols, gs, col_cols, cols, col_cols,
+                                      dw_partials + s * wnumel, col_rows);
                 }
                 if (need_x) {
                   // dcols = W^T g_s via the transposed-A GEMM variant: the pack
                   // step reads W [O, col_rows] column-wise, so no transposed
                   // copy of the weights is materialized.
                   std::fill(dcols, dcols + col_rows * col_cols, 0.0f);
-                  tensor::gemm_accumulate(tensor::Trans::T, tensor::Trans::N, col_rows,
-                                          col_cols, d.o, w_node->value.data(), col_rows, gs,
-                                          col_cols, dcols, col_cols);
+                  {
+                    core::OpTimer t(core::ProfiledOp::kConvDx);
+                    tensor::gemm_accumulate(tensor::Trans::T, tensor::Trans::N, col_rows,
+                                            col_cols, d.o, w_node->value.data(), col_rows, gs,
+                                            col_cols, dcols, col_cols);
+                  }
+                  core::OpTimer t(core::ProfiledOp::kCol2im);
                   col2im_accumulate(dcols, d, stride, padding,
                                     dX.data() + s * d.c * d.h * d.w);
                 }
@@ -206,13 +280,24 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
         if (need_x) in_node->accumulate_grad(dX);
         if (has_bias && b_node->requires_grad) {
           Tensor db({d.o});
-          for (std::int64_t s = 0; s < d.n; ++s)
-            for (std::int64_t o = 0; o < d.o; ++o) {
-              const float* grow = g.data() + (s * d.o + o) * col_cols;
-              double acc = 0.0;
-              for (std::int64_t q = 0; q < col_cols; ++q) acc += grow[q];
-              db[o] += static_cast<float>(acc);
-            }
+          core::OpTimer op_timer(core::ProfiledOp::kConvDb);
+          // Channel-parallel: each task owns a disjoint range of db entries.
+          // Per channel the per-sample double sums fold in ascending s then
+          // ascending q — the per-element float-add sequence of the old
+          // sequential s-outer loop, so the bias gradient is bitwise
+          // unchanged at any thread count.
+          float* dbp = db.data();
+          parallel::parallel_for(
+              parallel::grain_for(d.n * col_cols), d.o,
+              [&](std::int64_t o_begin, std::int64_t o_end) {
+                for (std::int64_t o = o_begin; o < o_end; ++o)
+                  for (std::int64_t s = 0; s < d.n; ++s) {
+                    const float* grow = g.data() + (s * d.o + o) * col_cols;
+                    double acc = 0.0;
+                    for (std::int64_t q = 0; q < col_cols; ++q) acc += grow[q];
+                    dbp[o] += static_cast<float>(acc);
+                  }
+              });
           b_node->accumulate_grad(db);
         }
       });
@@ -393,6 +478,76 @@ Variable upsample2x(const Variable& input) {
   });
 }
 
+Variable fused_scaled_softmax(const Variable& scores, float scale, const Tensor& mask) {
+  const Tensor& z = scores.value();
+  if (z.ndim() < 1) throw std::invalid_argument("fused_scaled_softmax: rank 0");
+  const std::int64_t last = z.shape().back();
+  const std::int64_t rows = z.numel() / std::max<std::int64_t>(last, 1);
+  const bool has_mask = mask.numel() > 0;
+  std::int64_t mask_rows = 0;
+  if (has_mask) {
+    if (mask.ndim() < 1 || mask.shape().back() != last || rows % (mask.numel() / last) != 0)
+      throw std::invalid_argument("fused_scaled_softmax: mask rows must tile score rows");
+    mask_rows = mask.numel() / last;
+  }
+  Tensor y = Tensor::uninitialized(z.shape());  // every row fully written below
+  {
+    core::OpTimer op_timer(core::ProfiledOp::kSoftmaxFused);
+    const float* src = z.data();
+    const float* mp = has_mask ? mask.data() : nullptr;
+    float* dst = y.data();
+    parallel::parallel_for(
+        parallel::grain_for(4 * last), rows, [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t r = begin; r < end; ++r) {
+            const float* zr = src + r * last;
+            const float* mr = mp ? mp + (r % mask_rows) * last : nullptr;
+            float* dr = dst + r * last;
+            // Pass 1: scale+mask folded into the max scan; the shifted row is
+            // staged in dr so pass 2 reads floats identical to the unfused
+            // mul_scalar -> add(mask) -> softmax_last chain.
+            float mx = -std::numeric_limits<float>::infinity();
+            for (std::int64_t j = 0; j < last; ++j) {
+              float v = zr[j] * scale;
+              if (mr) v += mr[j];
+              dr[j] = v;
+              if (v > mx) mx = v;
+            }
+            // Pass 2: exp fused with the double-precision denominator.
+            double denom = 0.0;
+            for (std::int64_t j = 0; j < last; ++j) {
+              const float e = std::exp(dr[j] - mx);
+              dr[j] = e;
+              denom += e;
+            }
+            const float inv = static_cast<float>(1.0 / denom);
+            for (std::int64_t j = 0; j < last; ++j) dr[j] *= inv;
+          }
+        });
+  }
+  auto zn = scores.node();
+  return Variable::from_op(y, {scores}, [zn, y, scale](const Tensor& g) {
+    const std::int64_t last = y.shape().back();
+    const std::int64_t rows = y.numel() / std::max<std::int64_t>(last, 1);
+    Tensor dx = Tensor::uninitialized(y.shape());  // every row written below
+    core::OpTimer op_timer(core::ProfiledOp::kSoftmaxFusedBwd);
+    parallel::parallel_for(
+        parallel::grain_for(4 * last), rows, [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t r = begin; r < end; ++r) {
+            const float* yr = y.data() + r * last;
+            const float* gr = g.data() + r * last;
+            float* dr = dx.data() + r * last;
+            double dot = 0.0;
+            for (std::int64_t j = 0; j < last; ++j) dot += static_cast<double>(yr[j]) * gr[j];
+            const float dotf = static_cast<float>(dot);
+            // Softmax Jacobian product, then the mul_scalar backward's scale
+            // factor — the same two float roundings the unfused chain makes.
+            for (std::int64_t j = 0; j < last; ++j) dr[j] = yr[j] * (gr[j] - dotf) * scale;
+          }
+        });
+    zn->accumulate_grad(dx);
+  });
+}
+
 Variable cross_entropy(const Variable& logits, const std::vector<std::int64_t>& targets) {
   std::vector<float> weights(targets.size(), 1.0f);
   return weighted_cross_entropy(logits, targets, weights);
@@ -421,17 +576,26 @@ Variable weighted_cross_entropy(const Variable& logits, const std::vector<std::i
   const float inv_wsum = static_cast<float>(1.0 / wsum);
   return Variable::from_op(std::move(out), {logits},
                            [zn, targets, weights, logp, n, c, inv_wsum](const Tensor& g) {
-                             // d/dz = w/wsum * (softmax(z) - onehot(t)) * g
+                             // d/dz = w/wsum * (softmax(z) - onehot(t)) * g.
+                             // Row-parallel with disjoint writes; zero-weight
+                             // rows keep dz's zero fill, so the split does not
+                             // change a single bit.
                              Tensor dz({n, c});
                              const float gv = g[0];
-                             for (std::int64_t i = 0; i < n; ++i) {
-                               const float wi = weights[static_cast<std::size_t>(i)];
-                               if (wi == 0.0f) continue;
-                               const float f = gv * wi * inv_wsum;
-                               for (std::int64_t j = 0; j < c; ++j)
-                                 dz[i * c + j] = f * std::exp(logp[i * c + j]);
-                               dz[i * c + targets[static_cast<std::size_t>(i)]] -= f;
-                             }
+                             parallel::parallel_for(
+                                 parallel::grain_for(2 * c), n,
+                                 [&](std::int64_t begin, std::int64_t end) {
+                                   for (std::int64_t i = begin; i < end; ++i) {
+                                     const float wi = weights[static_cast<std::size_t>(i)];
+                                     if (wi == 0.0f) continue;
+                                     const float f = gv * wi * inv_wsum;
+                                     const float* lr = logp.data() + i * c;
+                                     float* dr = dz.data() + i * c;
+                                     for (std::int64_t j = 0; j < c; ++j)
+                                       dr[j] = f * std::exp(lr[j]);
+                                     dr[targets[static_cast<std::size_t>(i)]] -= f;
+                                   }
+                                 });
                              zn->accumulate_grad(dz);
                            });
 }
@@ -461,13 +625,19 @@ Variable smoothed_cross_entropy(const Variable& logits,
   return Variable::from_op(
       std::move(out), {logits}, [zn, targets, logp, n, c, on_target, uniform](const Tensor& g) {
         // d/dz = (softmax(z) - q) / n, with q the smoothed target distribution.
-        Tensor dz({n, c});
+        // Row-parallel, disjoint writes, every element written: bitwise the
+        // old sequential loop at any thread count.
+        Tensor dz = Tensor::uninitialized({n, c});
         const float f = g[0] / static_cast<float>(n);
-        for (std::int64_t i = 0; i < n; ++i) {
-          for (std::int64_t j = 0; j < c; ++j)
-            dz[i * c + j] = f * (std::exp(logp[i * c + j]) - uniform);
-          dz[i * c + targets[static_cast<std::size_t>(i)]] -= f * on_target;
-        }
+        parallel::parallel_for(
+            parallel::grain_for(2 * c), n, [&](std::int64_t begin, std::int64_t end) {
+              for (std::int64_t i = begin; i < end; ++i) {
+                const float* lr = logp.data() + i * c;
+                float* dr = dz.data() + i * c;
+                for (std::int64_t j = 0; j < c; ++j) dr[j] = f * (std::exp(lr[j]) - uniform);
+                dr[targets[static_cast<std::size_t>(i)]] -= f * on_target;
+              }
+            });
         zn->accumulate_grad(dz);
       });
 }

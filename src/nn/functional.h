@@ -30,6 +30,37 @@ autograd::Variable dropout(const autograd::Variable& input, float p, bool traini
 /// Nearest-neighbour 2x upsample, NCHW (used by detection FPN-style heads).
 autograd::Variable upsample2x(const autograd::Variable& input);
 
+/// Fused scale -> additive-mask -> softmax over the last dim: one graph node
+/// replacing the mul_scalar / add(mask) / softmax_last chain in attention.
+/// `mask` broadcasts over leading dims (its rows tile the score rows, NumPy
+/// right-aligned); pass an empty Tensor for no mask. Forward is two data
+/// passes plus the normalize sweep (scale+mask folded into the max scan, exp
+/// fused with the double-precision denominator); backward fuses the softmax
+/// Jacobian product with the scale factor. Both are refchecked BITWISE (0 ULP)
+/// against the unfused chain at 1/2/4/8 threads in tests/test_nn.cpp.
+autograd::Variable fused_scaled_softmax(const autograd::Variable& scores, float scale,
+                                        const tensor::Tensor& mask);
+
+// ---- conv pack cache & diagnostics -----------------------------------------
+
+/// Step-scoped im2col pack cache knob. When enabled (the default), conv2d's
+/// forward keeps its per-sample im2col patch slabs alive in a pooled Tensor
+/// owned by the backward closure — Variable::backward()'s graph teardown (or
+/// graph destruction) releases it at the end of the step — so the dW pass
+/// skips the per-sample re-pack. A conv op whose slab would push the global
+/// live total past `cap_bytes` simply falls back to the re-pack path.
+void set_conv_pack_cache(bool enabled, std::int64_t cap_bytes = std::int64_t{256} << 20);
+bool conv_pack_cache_enabled();
+std::int64_t conv_pack_cache_cap_bytes();
+/// Bytes of cached patch slabs currently live (forwards whose backward has not
+/// yet run/torn down). Returns to 0 once all conv graphs of a step are freed.
+std::int64_t conv_pack_cache_live_bytes();
+/// Diagnostic counter: cumulative batched im2col sweeps (one per conv2d
+/// forward, plus one per dW backward that had to re-pack because the cache
+/// was off or over cap). With the cache on, a train step costs exactly one
+/// sweep per conv layer; uncached, two. Pinned in tests/test_autograd.cpp.
+std::int64_t im2col_calls();
+
 // ---- losses ----------------------------------------------------------------
 
 /// Softmax cross-entropy from logits [N, C] and integer targets (size N).

@@ -362,16 +362,17 @@ Variable MultiHeadAttention::forward(const Variable& q_in, const Variable& k_in,
   Variable v = project(wv, v_in, tk);
 
   Variable scores = bmm(q, k, tensor::Trans::N, tensor::Trans::T);
-  scores = mul_scalar(scores, 1.0f / std::sqrt(static_cast<float>(dh)));
+  // One fused node for scale -> causal mask -> softmax (bitwise the old
+  // mul_scalar/add/softmax_last chain — see fused_scaled_softmax).
+  Tensor mask;
   if (causal) {
     if (tq != tk) throw std::invalid_argument("causal attention requires Tq == Tk");
-    Tensor mask({tq, tk});
+    mask = Tensor::uninitialized({tq, tk});
     for (std::int64_t i = 0; i < tq; ++i)
       for (std::int64_t j = 0; j < tk; ++j)
         mask[i * tk + j] = j > i ? -1e9f : 0.0f;
-    scores = add(scores, Variable(mask));
   }
-  Variable attn = softmax_last(scores);
+  Variable attn = fused_scaled_softmax(scores, 1.0f / std::sqrt(static_cast<float>(dh)), mask);
   Variable ctx = bmm(attn, v);  // [B*H, Tq, Dh]
   // back to [B, Tq, D]
   Variable merged = reshape(permute(reshape(ctx, {b, heads, tq, dh}), {0, 2, 1, 3}),

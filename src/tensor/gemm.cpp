@@ -51,6 +51,29 @@ void micro_kernel(std::int64_t k, const float* ap, const float* bp, float* c, st
     for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
 }
 
+// Double-accumulator twin of micro_kernel for the dW numerics contract: the
+// product stays float (rounding exactly where the naive `acc += g*c` loop
+// rounds), the fold is double, one accumulator per element, ascending k.
+// Overwrite semantics — acc starts at zero and C is stored, not added to.
+// NR double lanes still auto-vectorize (two AVX double vectors per row).
+void micro_kernel_f64(std::int64_t k, const float* ap, const float* bp, float* c,
+                      std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  double acc[MR][NR];
+  for (std::int64_t r = 0; r < MR; ++r)
+    for (std::int64_t j = 0; j < NR; ++j) acc[r][j] = 0.0;
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* av = ap + p * MR;
+    const float* bv = bp + p * NR;
+    for (std::int64_t r = 0; r < MR; ++r) {
+      const float arp = av[r];
+      for (std::int64_t j = 0; j < NR; ++j)
+        acc[r][j] += static_cast<double>(arp * bv[j]);
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r)
+    for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] = static_cast<float>(acc[r][j]);
+}
+
 }  // namespace
 
 std::int64_t gemm_packed_b_size(std::int64_t k, std::int64_t n) {
@@ -137,6 +160,60 @@ void gemm_accumulate_ref(const float* a, const float* b, float* c, std::int64_t 
           for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
         }
       }
+    }
+  }
+}
+
+void gemm_f64acc(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+                 std::int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    // Overwrite contract: an empty fold stores float(0.0) everywhere, just
+    // as the naive loop's untouched `double acc = 0.0` would.
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) c[i * ldc + j] = 0.0f;
+    return;
+  }
+  const std::int64_t rs = ta == Trans::N ? lda : 1;
+  const std::int64_t cs = ta == Trans::N ? 1 : lda;
+  ScratchArena::Frame frame(ScratchArena::tls());
+  float* bp = frame.alloc(gemm_packed_b_size(k, n));
+  gemm_pack_b(tb, b, ldb, k, n, bp);
+  const std::int64_t mc_cap = std::min(MC, (m + MR - 1) / MR * MR);
+  float* ap = frame.alloc(mc_cap * k);
+  for (std::int64_t ic = 0; ic < m; ic += MC) {
+    const std::int64_t mc = std::min(MC, m - ic);
+    const std::int64_t strips = (mc + MR - 1) / MR;
+    for (std::int64_t s = 0; s < strips; ++s) {
+      const std::int64_t i0 = ic + s * MR;
+      pack_a_strip(a, rs, cs, i0, std::min(MR, m - i0), k, ap + s * MR * k);
+    }
+    for (std::int64_t j0 = 0; j0 < n; j0 += NR) {
+      const std::int64_t nr = std::min(NR, n - j0);
+      const float* bpanel = bp + j0 * k;
+      for (std::int64_t s = 0; s < strips; ++s) {
+        const std::int64_t i0 = ic + s * MR;
+        micro_kernel_f64(k, ap + s * MR * k, bpanel, c + i0 * ldc + j0, ldc,
+                         std::min(MR, m - i0), nr);
+      }
+    }
+  }
+}
+
+void gemm_f64acc_ref(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+                     const float* a, std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+                     std::int64_t ldc) {
+  const std::int64_t ars = ta == Trans::N ? lda : 1;
+  const std::int64_t acs = ta == Trans::N ? 1 : lda;
+  const std::int64_t brs = tb == Trans::N ? ldb : 1;
+  const std::int64_t bcs = tb == Trans::N ? 1 : ldb;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += a[i * ars + p * acs] * b[p * brs + j * bcs];  // float product, double fold
+      c[i * ldc + j] = static_cast<float>(acc);
     }
   }
 }

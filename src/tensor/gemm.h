@@ -63,4 +63,30 @@ void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m, s
 void gemm_accumulate_ref(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
                          std::int64_t n);
 
+/// Packed, cache-blocked GEMM with DOUBLE accumulators — the conv2d weight
+/// gradient kernel. OVERWRITE semantics:
+///
+///   C[i][j] = float( sum over p ascending of double( op(A)[i][p] * op(B)[p][j] ) )
+///
+/// Each product is computed in float (exactly as the naive dW dot-product
+/// loop does: float*float rounds before widening) and folded into ONE double
+/// accumulator per C element in ascending k order. MR x NR register tiling
+/// with double accumulator lanes, MC blocking on the packed A panel, K
+/// un-blocked — so the result is bitwise identical to gemm_f64acc_ref at any
+/// tiling, threading or call-site partitioning (a 0-ULP contract, pinned in
+/// tests/test_gemm.cpp). k <= 0 zeroes C (the naive loop writes float(0.0)).
+/// Existing C contents are ignored — this is NOT an accumulate kernel.
+void gemm_f64acc(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+                 std::int64_t ldc);
+
+/// The naive reference for gemm_f64acc: the exact double-accumulator
+/// dot-product loop conv2d's dW used before the packed kernel, generalized to
+/// the four Trans orientations. Retained forever as the 0-ULP refcheck
+/// target; any future kernel that widens the product to double or splits the
+/// k-fold must update EXPERIMENTS.md and the test tolerance in one change.
+void gemm_f64acc_ref(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+                     const float* a, std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+                     std::int64_t ldc);
+
 }  // namespace mlperf::tensor

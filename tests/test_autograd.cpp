@@ -6,6 +6,10 @@
 #include <cstring>
 #include <functional>
 
+#include "checkpoint/state.h"
+#include "nn/functional.h"
+#include "parallel/parallel_for.h"
+
 namespace mlperf::autograd {
 namespace {
 
@@ -275,6 +279,85 @@ TEST(AddRelu, GradcheckAwayFromKink) {
   const Tensor other = Tensor::randn({3, 5}, rng, 2.0f, 0.25f);  // keep s > 0
   gradcheck([&](const Variable& v) { return add_relu(v, Variable(other)); },
             Tensor::rand({3, 5}, rng, 0.5f, 1.5f));
+}
+
+
+// ---- step-scoped im2col pack cache -----------------------------------------
+
+std::uint64_t fnv_tensor(const Tensor& t, std::uint64_t h) {
+  return checkpoint::fnv1a(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float), h);
+}
+
+// Three conv train steps with a manual SGD update; fingerprints every weight
+// and gradient after each step so a single bit of divergence anywhere in the
+// trajectory changes the hash.
+std::uint64_t conv_train_fingerprint(bool cache_on, int threads) {
+  nn::set_conv_pack_cache(cache_on);
+  parallel::set_num_threads(threads);
+  Rng rng(77);
+  Tensor w1t = Tensor::randn({4, 3, 3, 3}, rng);
+  Tensor w2t = Tensor::randn({5, 4, 3, 3}, rng);
+  Tensor b2t = Tensor::randn({5}, rng);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  std::uint64_t h = checkpoint::kFnvOffset;
+  for (int step = 0; step < 3; ++step) {
+    Variable w1(w1t, true), w2(w2t, true), b2(b2t, true);
+    Variable y = nn::conv2d(Variable(x), w1, Variable(), 1, 1);
+    y = nn::conv2d(relu(y), w2, b2, 1, 1);
+    sum_all(mul(y, y)).backward();
+    auto sgd = [](Tensor& wt, const Tensor& gt) {
+      for (std::int64_t i = 0; i < wt.numel(); ++i) wt[i] -= 1e-4f * gt[i];
+    };
+    sgd(w1t, w1.grad());
+    sgd(w2t, w2.grad());
+    sgd(b2t, b2.grad());
+    const Tensor* parts[] = {&w1.grad(), &w2.grad(), &b2.grad(), &w1t, &w2t, &b2t};
+    for (const Tensor* t : parts) h = fnv_tensor(*t, h);
+  }
+  parallel::set_num_threads(1);
+  nn::set_conv_pack_cache(true);
+  return h;
+}
+
+TEST(ConvPackCache, OneIm2colSweepPerConvLayerPerStep) {
+  Rng rng(55);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor w1t = Tensor::randn({4, 3, 3, 3}, rng);
+  const Tensor w2t = Tensor::randn({5, 4, 3, 3}, rng);
+  auto step = [&] {
+    Variable w1(w1t, true), w2(w2t, true);
+    Variable y = nn::conv2d(Variable(x), w1, Variable(), 1, 1);
+    y = nn::conv2d(y, w2, Variable(), 1, 1);
+    sum_all(mul(y, y)).backward();
+    // backward()'s graph teardown destroyed the closures and with them the
+    // cached slabs: nothing outlives the step.
+    EXPECT_EQ(0, nn::conv_pack_cache_live_bytes());
+  };
+  nn::set_conv_pack_cache(true);
+  std::int64_t before = nn::im2col_calls();
+  step();
+  EXPECT_EQ(2, nn::im2col_calls() - before) << "cached: one sweep per conv layer";
+
+  nn::set_conv_pack_cache(false);
+  before = nn::im2col_calls();
+  step();
+  EXPECT_EQ(4, nn::im2col_calls() - before) << "uncached: forward + dW re-pack per layer";
+
+  // A cap too small for any slab degrades to the re-pack path, not an error.
+  nn::set_conv_pack_cache(true, /*cap_bytes=*/16);
+  before = nn::im2col_calls();
+  step();
+  EXPECT_EQ(4, nn::im2col_calls() - before) << "over-cap: behaves as uncached";
+
+  nn::set_conv_pack_cache(true);
+}
+
+TEST(ConvPackCache, CachedAndUncachedTrainingBitwiseIdentical) {
+  const std::uint64_t want = conv_train_fingerprint(/*cache_on=*/false, /*threads=*/1);
+  for (int threads : {1, 2, 4, 8}) {
+    EXPECT_EQ(want, conv_train_fingerprint(false, threads)) << "uncached, t=" << threads;
+    EXPECT_EQ(want, conv_train_fingerprint(true, threads)) << "cached, t=" << threads;
+  }
 }
 
 }  // namespace

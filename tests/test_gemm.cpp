@@ -309,3 +309,114 @@ TEST_F(GemmTest, SteadyStateTrainingStepAllocatesNoScratch) {
   EXPECT_EQ(warm, tensor::ScratchArena::tls().chunk_allocations())
       << "steady-state step allocated scratch chunks";
 }
+
+// ---- gemm_f64acc: the conv dW kernel ---------------------------------------
+//
+// Same 0-ULP discipline as the float kernel, with a different numerics
+// contract: OVERWRITE semantics, float products folded into one DOUBLE
+// accumulator per element in ascending k — exactly the naive dot-product loop
+// conv2d's weight gradient used before the packed kernel (retained verbatim
+// as gemm_f64acc_ref).
+
+TEST_F(GemmTest, F64AccMatchesNaiveDoubleLoopBitwise) {
+  Rng rng(110);
+  for (const auto& s : kShapes) {
+    Tensor a = Tensor::randn({std::max<std::int64_t>(s.m, 1), std::max<std::int64_t>(s.k, 1)},
+                             rng);
+    Tensor b = Tensor::randn({std::max<std::int64_t>(s.k, 1), std::max<std::int64_t>(s.n, 1)},
+                             rng);
+    // The literal naive loop (independent of gemm_f64acc_ref): float product,
+    // double ascending-k fold, float store.
+    Tensor want = Tensor::uninitialized({s.m, s.n});
+    for (std::int64_t i = 0; i < s.m; ++i)
+      for (std::int64_t j = 0; j < s.n; ++j) {
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < s.k; ++p) acc += a[i * s.k + p] * b[p * s.n + j];
+        want[i * s.n + j] = static_cast<float>(acc);
+      }
+    // Stale garbage in C pins the overwrite contract.
+    Tensor got({s.m, s.n}, -7.75f);
+    tensor::gemm_f64acc(Trans::N, Trans::N, s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                        got.data(), s.n);
+    expect_bitwise_equal(want, got, "f64acc vs naive double loop");
+    Tensor ref({s.m, s.n}, 3.5f);
+    tensor::gemm_f64acc_ref(Trans::N, Trans::N, s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                            ref.data(), s.n);
+    expect_bitwise_equal(want, ref, "f64acc_ref vs naive double loop");
+  }
+}
+
+TEST_F(GemmTest, F64AccTransVariantsMatchRefAcrossThreads) {
+  for (const auto& s : kShapes) {
+    Rng rng(111);
+    Tensor a = Tensor::randn({std::max<std::int64_t>(s.m, 1), std::max<std::int64_t>(s.k, 1)},
+                             rng);
+    Tensor b = Tensor::randn({std::max<std::int64_t>(s.k, 1), std::max<std::int64_t>(s.n, 1)},
+                             rng);
+    Tensor at = a.transpose2d();
+    Tensor bt = b.transpose2d();
+    Tensor want({s.m, s.n}, 9.0f);
+    tensor::gemm_f64acc_ref(Trans::N, Trans::N, s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                            want.data(), s.n);
+    for (int threads : {1, 2, 4, 8}) {
+      parallel::set_num_threads(threads);
+      struct Case {
+        Trans ta, tb;
+        const Tensor *pa, *pb;
+        std::int64_t lda, ldb;
+        const char* name;
+      } cases[] = {
+          {Trans::N, Trans::N, &a, &b, s.k, s.n, "f64acc NN"},
+          {Trans::T, Trans::N, &at, &b, std::max<std::int64_t>(s.m, 1), s.n, "f64acc TN"},
+          {Trans::N, Trans::T, &a, &bt, s.k, std::max<std::int64_t>(s.k, 1), "f64acc NT"},
+          {Trans::T, Trans::T, &at, &bt, std::max<std::int64_t>(s.m, 1),
+           std::max<std::int64_t>(s.k, 1), "f64acc TT"},
+      };
+      for (const Case& c : cases) {
+        Tensor got({s.m, s.n}, -1.25f);
+        tensor::gemm_f64acc(c.ta, c.tb, s.m, s.n, s.k, c.pa->data(), c.lda, c.pb->data(),
+                            c.ldb, got.data(), s.n);
+        expect_bitwise_equal(want, got, c.name);
+      }
+    }
+  }
+}
+
+TEST_F(GemmTest, F64AccKZeroZeroesC) {
+  // The naive loop's empty fold writes float(0.0) to every element; both the
+  // packed kernel and the reference must do the same, not no-op like the
+  // accumulate kernel.
+  Tensor a({3, 1});
+  Tensor b({1, 4});
+  Tensor got({3, 4}, 2.5f);
+  tensor::gemm_f64acc(Trans::N, Trans::N, 3, 4, 0, a.data(), 1, b.data(), 4, got.data(), 4);
+  for (std::int64_t i = 0; i < got.numel(); ++i) EXPECT_EQ(0.0f, got[i]);
+  Tensor ref({3, 4}, -2.5f);
+  tensor::gemm_f64acc_ref(Trans::N, Trans::N, 3, 4, 0, a.data(), 1, b.data(), 4, ref.data(), 4);
+  for (std::int64_t i = 0; i < ref.numel(); ++i) EXPECT_EQ(0.0f, ref[i]);
+}
+
+TEST_F(GemmTest, ConvDwOrientationMatchesOldInlineLoop) {
+  // The exact call conv2d's backward makes: dW_s = g_s [O, Q] x cols^T [Q, R]
+  // via (Trans::N, Trans::T), refchecked against the pre-PR5 inline loop.
+  Rng rng(112);
+  const std::int64_t O = 5, R = 27, Q = 33;  // deliberately off every tile size
+  Tensor g = Tensor::randn({O, Q}, rng);
+  Tensor cols = Tensor::randn({R, Q}, rng);
+  Tensor want = Tensor::uninitialized({O, R});
+  for (std::int64_t o = 0; o < O; ++o)
+    for (std::int64_t r = 0; r < R; ++r) {
+      const float* grow = g.data() + o * Q;
+      const float* crow = cols.data() + r * Q;
+      double acc = 0.0;
+      for (std::int64_t q = 0; q < Q; ++q) acc += grow[q] * crow[q];
+      want[o * R + r] = static_cast<float>(acc);
+    }
+  for (int threads : {1, 2, 4, 8}) {
+    parallel::set_num_threads(threads);
+    Tensor got({O, R}, 4.0f);
+    tensor::gemm_f64acc(Trans::N, Trans::T, O, R, Q, g.data(), Q, cols.data(), Q, got.data(),
+                        R);
+    expect_bitwise_equal(want, got, "conv dW orientation");
+  }
+}

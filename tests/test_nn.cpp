@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "nn/functional.h"
 #include "nn/serialize.h"
+#include "parallel/parallel_for.h"
 
 namespace mlperf::nn {
 namespace {
@@ -544,6 +546,112 @@ TEST(Module, ZeroGradClearsAll) {
   EXPECT_GT(l.weight.grad().l2_norm_sq(), 0.0f);
   l.zero_grad();
   EXPECT_EQ(l.weight.grad().l2_norm_sq(), 0.0f);
+}
+
+
+// ---- fused_scaled_softmax ---------------------------------------------------
+
+namespace fused_softmax_detail {
+
+void expect_same_bits(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<std::size_t>(a.numel()) * sizeof(float)))
+      << what;
+}
+
+}  // namespace fused_softmax_detail
+
+// The fused op's contract is 0 ULP against the chain it replaced in
+// attention: mul_scalar -> add(mask) -> softmax_last, forward AND backward,
+// at any thread count.
+TEST(FusedScaledSoftmax, BitwiseIdenticalToUnfusedChain) {
+  using fused_softmax_detail::expect_same_bits;
+  Rng rng(61);
+  const std::int64_t b = 3, t = 7;
+  const Tensor scores = Tensor::randn({b, t, t}, rng);
+  const float scale = 1.0f / std::sqrt(5.0f);
+  Tensor mask = Tensor::uninitialized({t, t});
+  for (std::int64_t i = 0; i < t; ++i)
+    for (std::int64_t j = 0; j < t; ++j) mask[i * t + j] = j > i ? -1e9f : 0.0f;
+  const Tensor seed = Tensor::randn({b, t, t}, rng);
+
+  for (int threads : {1, 2, 4, 8}) {
+    parallel::set_num_threads(threads);
+    for (bool masked : {false, true}) {
+      Variable s1(scores, true);
+      Variable fused =
+          fused_scaled_softmax(s1, scale, masked ? mask : Tensor());
+      fused.backward(seed);
+
+      Variable s2(scores, true);
+      Variable chain = autograd::mul_scalar(s2, scale);
+      if (masked) chain = autograd::add(chain, Variable(mask));
+      chain = autograd::softmax_last(chain);
+      chain.backward(seed);
+
+      expect_same_bits(fused.value(), chain.value(), masked ? "fwd masked" : "fwd");
+      expect_same_bits(s1.grad(), s2.grad(), masked ? "bwd masked" : "bwd");
+    }
+  }
+  parallel::set_num_threads(1);
+}
+
+TEST(FusedScaledSoftmax, RowsSumToOneAndMaskZeroes) {
+  Rng rng(62);
+  const std::int64_t t = 6;
+  const Tensor scores = Tensor::randn({2, t, t}, rng);
+  Tensor mask = Tensor::uninitialized({t, t});
+  for (std::int64_t i = 0; i < t; ++i)
+    for (std::int64_t j = 0; j < t; ++j) mask[i * t + j] = j > i ? -1e9f : 0.0f;
+  Variable y = fused_scaled_softmax(Variable(scores), 0.5f, mask);
+  for (std::int64_t r = 0; r < 2 * t; ++r) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < t; ++j) sum += y.value()[r * t + j];
+    EXPECT_NEAR(1.0, sum, 1e-5) << "row " << r;
+    const std::int64_t i = r % t;
+    for (std::int64_t j = i + 1; j < t; ++j)
+      EXPECT_NEAR(0.0f, y.value()[r * t + j], 1e-12f) << "masked entry leaked";
+  }
+}
+
+TEST(FusedScaledSoftmax, BadMaskShapeThrows) {
+  Rng rng(63);
+  const Tensor scores = Tensor::randn({2, 4, 4}, rng);
+  EXPECT_THROW(fused_scaled_softmax(Variable(scores), 1.0f, Tensor({4, 5})),
+               std::invalid_argument);
+  EXPECT_THROW(fused_scaled_softmax(Variable(scores), 1.0f, Tensor({3, 4})),
+               std::invalid_argument);
+}
+
+// The conv bias gradient is now a channel-parallel reduction; pin that the
+// result is bitwise the sequential sample-outer loop at any thread count.
+TEST(Conv2d, BiasGradBitwiseAcrossThreadCounts) {
+  Rng rng(64);
+  const Tensor x = Tensor::randn({3, 2, 9, 9}, rng);
+  const Tensor wt = Tensor::randn({5, 2, 3, 3}, rng);
+  const Tensor bt = Tensor::randn({5}, rng);
+  auto bias_grad = [&](int threads) {
+    parallel::set_num_threads(threads);
+    Variable w(wt, true), bias(bt, true);
+    Variable y = conv2d(Variable(x), w, bias, 1, 1);
+    autograd::sum_all(autograd::mul(y, y)).backward();
+    Tensor g = bias.grad();
+    parallel::set_num_threads(1);
+    return g;
+  };
+  const Tensor want = bias_grad(1);
+  // The pre-PR5 sequential loop, s-outer / o-inner, for reference.
+  Variable w(wt, true), bias(bt, true);
+  Variable y = conv2d(Variable(x), w, bias, 1, 1);
+  const Tensor g_out = [&] {
+    Variable loss = autograd::sum_all(autograd::mul(y, y));
+    loss.backward();
+    return bias.grad();
+  }();
+  fused_softmax_detail::expect_same_bits(want, g_out, "bias grad self-check");
+  for (int threads : {2, 4, 8})
+    fused_softmax_detail::expect_same_bits(want, bias_grad(threads), "bias grad threaded");
 }
 
 }  // namespace
